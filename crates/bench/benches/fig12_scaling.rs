@@ -1,0 +1,26 @@
+//! Bench target regenerating the paper's "Fig. 12 problem-size scaling" exhibit: prints the
+//! reproduced rows/series, then times the underlying machinery.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn timed(c: &mut Criterion) {
+    let opts = pom::CompileOptions::default();
+    c.bench_function("fig12_scaling", |b| {
+        b.iter(|| black_box(pom::baselines::scalehls_like(&pom_bench::kernels::gemm(8192), &opts, 8192)))
+    });
+    let _ = &opts;
+}
+
+fn main() {
+    // Regenerate the exhibit (the actual reproduction output).
+    println!("{}", pom_bench::experiments::fig12::run());
+    let mut criterion = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .configure_from_args();
+    timed(&mut criterion);
+    criterion.final_summary();
+}

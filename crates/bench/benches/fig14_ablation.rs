@@ -1,0 +1,24 @@
+//! Bench target regenerating the paper's "Fig. 14 primitive ablation" exhibit: prints the
+//! reproduced rows/series, then times the underlying machinery.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn timed(c: &mut Criterion) {
+    c.bench_function("fig14_ablation", |b| {
+        b.iter(|| black_box(pom_bench::experiments::fig14::ablate("2MM", &pom_bench::kernels::mm2(128))))
+    });
+}
+
+fn main() {
+    // Regenerate the exhibit (the actual reproduction output).
+    println!("{}", pom_bench::experiments::fig14::run());
+    let mut criterion = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .configure_from_args();
+    timed(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,26 @@
+//! Bench target regenerating the paper's "Table VI critical loops" exhibit: prints the
+//! reproduced rows/series, then times the underlying machinery.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn timed(c: &mut Criterion) {
+    let opts = pom::CompileOptions::default();
+    c.bench_function("tab06_critical_loops", |b| {
+        b.iter(|| black_box(pom::auto_dse(&pom_bench::kernels::blur(1024), &opts)))
+    });
+    let _ = &opts;
+}
+
+fn main() {
+    // Regenerate the exhibit (the actual reproduction output).
+    println!("{}", pom_bench::experiments::tab06::run());
+    let mut criterion = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .configure_from_args();
+    timed(&mut criterion);
+    criterion.final_summary();
+}

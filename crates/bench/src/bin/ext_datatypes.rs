@@ -1,0 +1,5 @@
+//! Prints the data-type customization extension table.
+
+fn main() {
+    println!("{}", pom_bench::experiments::ext_dtypes::run());
+}

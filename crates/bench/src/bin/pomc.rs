@@ -1,0 +1,113 @@
+//! `pomc` — the POM command-line driver.
+//!
+//! Compiles a built-in benchmark kernel through the full flow and prints
+//! the requested artefact:
+//!
+//! ```text
+//! pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule] [--no-dse]
+//! ```
+//!
+//! Kernels: gemm, bicg, gesummv, 2mm, 3mm, jacobi1d, jacobi2d, heat1d,
+//! seidel, edge_detect, gaussian, blur, vgg16, resnet18.
+
+use pom::{auto_dse, baselines, CompileOptions, Function, Pom};
+
+fn kernel_by_name(name: &str, size: usize) -> Option<Function> {
+    use pom_bench::kernels as k;
+    Some(match name {
+        "gemm" => k::gemm(size),
+        "bicg" => k::bicg(size),
+        "gesummv" => k::gesummv(size),
+        "2mm" | "mm2" => k::mm2(size),
+        "3mm" | "mm3" => k::mm3(size),
+        "jacobi1d" => k::jacobi1d(size / 16, size),
+        "jacobi2d" => k::jacobi2d(size / 16, size / 8),
+        "heat1d" => k::heat1d(size / 16, size),
+        "seidel" => k::seidel(size / 4),
+        "edge_detect" => k::edge_detect(size),
+        "gaussian" => k::gaussian(size),
+        "blur" => k::blur(size),
+        "vgg16" => k::vgg16(1),
+        "resnet18" => k::resnet18(1),
+        _ => return None,
+    })
+}
+
+const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule] [--no-dse]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(kernel) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let mut size = 256usize;
+    let mut emit = "report".to_string();
+    let mut use_dse = true;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size" => {
+                size = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--size expects a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--emit" => {
+                emit = args.get(i + 1).cloned().unwrap_or_default();
+                i += 2;
+            }
+            "--no-dse" => {
+                use_dse = false;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let Some(f) = kernel_by_name(kernel, size) else {
+        eprintln!("unknown kernel {kernel}\n{USAGE}");
+        std::process::exit(2);
+    };
+
+    let driver = Pom::new();
+    let opts = CompileOptions::default();
+    let scheduled = if use_dse {
+        auto_dse(&f, &opts).function
+    } else {
+        f.clone()
+    };
+
+    match emit.as_str() {
+        "dsl" => println!("{f}"),
+        "schedule" => {
+            for p in scheduled.schedule() {
+                println!("{p};");
+            }
+        }
+        "graph" => println!("{}", driver.analyze(&f)),
+        "ir" => println!("{}", driver.compile(&scheduled).affine),
+        "c" => println!("{}", driver.compile(&scheduled).hls_c()),
+        "tb" => println!("{}", driver.testbench(&scheduled, 42)),
+        "report" => {
+            let base = baselines::baseline_compiled(&f, &opts);
+            let report = driver.report(&scheduled);
+            println!("{}", report.render());
+            println!(
+                "Speedup over unoptimized baseline: {:.1}x",
+                report.qor.speedup_over(&base.qor)
+            );
+        }
+        other => {
+            eprintln!("unknown --emit {other}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Prints the reproduction of the paper exhibit (see pom-bench docs).
+
+fn main() {
+    println!("{}", pom_bench::experiments::tab07::run());
+}

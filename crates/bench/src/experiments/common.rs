@@ -1,0 +1,202 @@
+//! Shared experiment machinery: framework evaluation and table rendering.
+
+use pom::baselines::{self, BaselineResult};
+use pom::{auto_dse, CompileOptions, DeviceSpec, Function, GroupConfig};
+use std::fmt::Write as _;
+
+/// One framework's results on one benchmark — the columns of Table III.
+#[derive(Clone, Debug)]
+pub struct FrameworkRow {
+    /// Framework name.
+    pub framework: String,
+    /// Latency in cycles.
+    pub latency: u64,
+    /// Speedup over the unoptimized baseline.
+    pub speedup: f64,
+    /// DSP usage.
+    pub dsp: u64,
+    /// FF usage.
+    pub ff: u64,
+    /// LUT usage.
+    pub lut: u64,
+    /// Power proxy (W).
+    pub power: f64,
+    /// Achieved initiation interval (max over pipelined loops; 0 = none).
+    pub ii: u64,
+    /// Achieved tile sizes / unroll factors per nest.
+    pub tiles: String,
+    /// Parallelism degree (tile product / II).
+    pub parallelism: f64,
+    /// Strategy/DSE wall-clock seconds.
+    pub time_s: f64,
+}
+
+fn row_from_baseline(b: &BaselineResult, baseline_latency: u64) -> FrameworkRow {
+    let q = &b.compiled.qor;
+    let ii = b.achieved_ii();
+    FrameworkRow {
+        framework: b.name.to_string(),
+        latency: q.latency,
+        speedup: baseline_latency as f64 / q.latency.max(1) as f64,
+        dsp: q.resources.dsp,
+        ff: q.resources.ff,
+        lut: q.resources.lut,
+        power: q.power,
+        ii,
+        tiles: "-".into(),
+        parallelism: 0.0,
+        time_s: b.time.as_secs_f64(),
+    }
+}
+
+fn tiles_string(groups: &[GroupConfig]) -> String {
+    groups
+        .iter()
+        .map(|g| {
+            let ts: Vec<String> = g.tiles.iter().map(|t| t.to_string()).collect();
+            format!("[{}]", ts.join(", "))
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Evaluates POM on a kernel.
+pub fn run_pom(f: &Function, opts: &CompileOptions) -> FrameworkRow {
+    let base = baselines::baseline_compiled(f, opts);
+    let r = auto_dse(f, opts);
+    let q = &r.compiled.qor;
+    FrameworkRow {
+        framework: "POM".into(),
+        latency: q.latency,
+        speedup: q.speedup_over(&base.qor),
+        dsp: q.resources.dsp,
+        ff: q.resources.ff,
+        lut: q.resources.lut,
+        power: q.power,
+        ii: r.achieved_iis().into_iter().max().unwrap_or(0),
+        tiles: tiles_string(&r.groups),
+        parallelism: r.parallelism(),
+        time_s: r.dse_time.as_secs_f64(),
+    }
+}
+
+/// Evaluates the ScaleHLS-like baseline on a kernel.
+pub fn run_scalehls(f: &Function, opts: &CompileOptions, size: usize) -> FrameworkRow {
+    let base = baselines::baseline_compiled(f, opts);
+    let b = baselines::scalehls_like(f, opts, size);
+    row_from_baseline(&b, base.qor.latency)
+}
+
+/// Evaluates the POLSCA-like baseline on a kernel.
+pub fn run_polsca(f: &Function, opts: &CompileOptions) -> FrameworkRow {
+    let base = baselines::baseline_compiled(f, opts);
+    let b = baselines::polsca_like(f, opts);
+    row_from_baseline(&b, base.qor.latency)
+}
+
+/// Evaluates the Pluto-like baseline on a kernel.
+pub fn run_pluto(f: &Function, opts: &CompileOptions) -> FrameworkRow {
+    let base = baselines::baseline_compiled(f, opts);
+    let b = baselines::pluto_like(f, opts);
+    row_from_baseline(&b, base.qor.latency)
+}
+
+/// Default options on the paper's device.
+pub fn paper_options() -> CompileOptions {
+    CompileOptions {
+        device: DeviceSpec::xc7z020(),
+        ..Default::default()
+    }
+}
+
+/// A plain-text aligned table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", line(r, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a speedup like the paper ("575.9x").
+pub fn fmt_speedup(s: f64) -> String {
+    format!("{s:.1}x")
+}
+
+/// Formats a resource count with its utilization percentage.
+pub fn fmt_util(v: u64, total: u64) -> String {
+    format!("{v} ({:.0}%)", 100.0 * v as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long_header"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long_header"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_speedup(575.93), "575.9x");
+        assert_eq!(fmt_util(166, 220), "166 (75%)");
+    }
+}

@@ -1,0 +1,116 @@
+//! Extension experiment — data-type customization (Table I lists it as a
+//! POM capability; Section IV-A: "algorithms implemented with different
+//! data types vary in performance on FPGAs").
+//!
+//! Runs GEMM through the same auto-DSE with the kernel declared in `i8`,
+//! `i16`, `i32`, `f32`, and `f64`: narrower arithmetic buys more parallel
+//! units under the same DSP/LUT budget, so the parallelism degree (and
+//! speedup) rises as the type shrinks.
+
+use crate::experiments::common::{fmt_speedup, Table};
+use pom::{auto_dse, baselines, CompileOptions, DataType, Function};
+
+/// GEMM with a configurable element type.
+pub fn gemm_typed(n: usize, dtype: DataType) -> Function {
+    let n_ = n as i64;
+    let mut f = Function::new("gemm");
+    let k = f.var("k", 0, n_);
+    let i = f.var("i", 0, n_);
+    let j = f.var("j", 0, n_);
+    let a = f.placeholder("A", &[n, n], dtype);
+    let b = f.placeholder("B", &[n, n], dtype);
+    let c = f.placeholder("C", &[n, n], dtype);
+    f.compute(
+        "s",
+        &[k.clone(), i.clone(), j.clone()],
+        a.at(&[&i, &j]) + b.at(&[&i, &k]) * c.at(&[&k, &j]),
+        a.access(&[&i, &j]),
+    );
+    f
+}
+
+/// One measurement.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Element type.
+    pub dtype: DataType,
+    /// Speedup over the same-type unoptimized baseline.
+    pub speedup: f64,
+    /// Parallelism degree reached by the DSE.
+    pub parallelism: f64,
+    /// DSP usage.
+    pub dsp: u64,
+    /// LUT usage.
+    pub lut: u64,
+}
+
+/// Runs the sweep.
+pub fn results(n: usize) -> Vec<Row> {
+    [
+        DataType::I8,
+        DataType::I16,
+        DataType::I32,
+        DataType::F32,
+        DataType::F64,
+    ]
+    .into_iter()
+    .map(|dtype| {
+        let f = gemm_typed(n, dtype);
+        let opts = CompileOptions::for_function(&f);
+        let base = baselines::baseline_compiled(&f, &opts);
+        let r = auto_dse(&f, &opts);
+        Row {
+            dtype,
+            speedup: r.compiled.qor.speedup_over(&base.qor),
+            parallelism: r.parallelism(),
+            dsp: r.compiled.qor.resources.dsp,
+            lut: r.compiled.qor.resources.lut,
+        }
+    })
+    .collect()
+}
+
+/// Renders the extension table.
+pub fn run() -> String {
+    let mut t = Table::new(
+        "Extension — data-type customization on GEMM (size 1024)",
+        &["Type", "Speedup", "Parallelism", "DSP", "LUT"],
+    );
+    for r in results(1024) {
+        t.row(&[
+            r.dtype.to_string(),
+            fmt_speedup(r.speedup),
+            format!("{:.0}", r.parallelism),
+            r.dsp.to_string(),
+            r.lut.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrower_types_reach_at_least_as_much_parallelism() {
+        let rows = results(256);
+        let par = |d: DataType| {
+            rows.iter()
+                .find(|r| r.dtype == d)
+                .map(|r| r.parallelism)
+                .unwrap()
+        };
+        assert!(par(DataType::I16) >= par(DataType::F32));
+        assert!(par(DataType::F32) >= par(DataType::F64));
+        assert!(par(DataType::I8) >= par(DataType::I32));
+    }
+
+    #[test]
+    fn every_type_fits_the_device() {
+        for r in results(256) {
+            assert!(r.dsp <= 220, "{}: {} DSPs", r.dtype, r.dsp);
+            assert!(r.lut <= 53_200, "{}: {} LUTs", r.dtype, r.lut);
+        }
+    }
+}

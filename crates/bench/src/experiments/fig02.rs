@@ -1,0 +1,91 @@
+//! Fig. 2 — the motivating example: BICG latency and speedup across the
+//! baseline, Pluto, POLSCA, ScaleHLS, and POM (plus the achieved IIs that
+//! drive the schedules of Fig. 2(c)(d)(e)).
+
+use crate::experiments::common::{
+    fmt_speedup, paper_options, run_pluto, run_polsca, run_pom, run_scalehls, FrameworkRow, Table,
+};
+use crate::kernels;
+
+/// Problem size used by the paper's motivating example.
+pub const SIZE: usize = 4096;
+
+/// Runs the experiment, returning all framework rows (baseline first).
+pub fn results(size: usize) -> Vec<FrameworkRow> {
+    let opts = paper_options();
+    let f = kernels::bicg(size);
+    let base = pom::baselines::baseline_compiled(&f, &opts);
+    let baseline_row = FrameworkRow {
+        framework: "Baseline".into(),
+        latency: base.qor.latency,
+        speedup: 1.0,
+        dsp: base.qor.resources.dsp,
+        ff: base.qor.resources.ff,
+        lut: base.qor.resources.lut,
+        power: base.qor.power,
+        ii: 0,
+        tiles: "-".into(),
+        parallelism: 1.0,
+        time_s: 0.0,
+    };
+    vec![
+        baseline_row,
+        run_pluto(&f, &opts),
+        run_polsca(&f, &opts),
+        run_scalehls(&f, &opts, size),
+        run_pom(&f, &opts),
+    ]
+}
+
+/// Renders the Fig. 2(b) reproduction.
+pub fn run() -> String {
+    let rows = results(SIZE);
+    let mut t = Table::new(
+        "Fig. 2(b) — Motivating example: BICG latency and speedup",
+        &["Framework", "Latency (cycles)", "Speedup", "Achieved II"],
+    );
+    for r in &rows {
+        t.row(&[
+            r.framework.clone(),
+            r.latency.to_string(),
+            fmt_speedup(r.speedup),
+            if r.ii == 0 { "-".into() } else { r.ii.to_string() },
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper() {
+        // Paper Fig. 2(b): POM > ScaleHLS > POLSCA ~ Pluto ~ baseline.
+        let rows = results(256);
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.framework == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .speedup
+        };
+        assert!(get("POM") > get("ScaleHLS"), "POM must win");
+        assert!(get("ScaleHLS") > get("POLSCA"));
+        assert!(get("POM") > 10.0 * get("Pluto"));
+    }
+
+    #[test]
+    fn pom_ii_is_small() {
+        let rows = results(256);
+        let pom = rows.iter().find(|r| r.framework == "POM").unwrap();
+        assert!(pom.ii <= 2, "paper reports II = 2, got {}", pom.ii);
+    }
+
+    #[test]
+    fn render_contains_all_frameworks() {
+        let s = run();
+        for name in ["Baseline", "Pluto", "POLSCA", "ScaleHLS", "POM"] {
+            assert!(s.contains(name), "missing {name} in:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Fig. 11 — speedup and resource utilization of 2MM under varying
+//! resource constraints (percentages of the XC7Z020's resources).
+
+use crate::experiments::common::{fmt_speedup, Table};
+use crate::kernels;
+use pom::{auto_dse, baselines, CompileOptions, DeviceSpec};
+
+/// The constraint sweep of the figure.
+pub const CONSTRAINTS: [u64; 4] = [25, 50, 75, 100];
+
+/// One point of the sweep.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Framework name.
+    pub framework: &'static str,
+    /// Resource constraint (% of the device).
+    pub constraint: u64,
+    /// Speedup over the unoptimized baseline.
+    pub speedup: f64,
+    /// DSP utilization (% of the *constrained* device).
+    pub dsp_util: f64,
+}
+
+/// Runs the sweep at the given problem size.
+pub fn results(size: usize) -> Vec<Point> {
+    let mut out = Vec::new();
+    let f = kernels::mm2(size);
+    for pct in CONSTRAINTS {
+        let device = DeviceSpec::xc7z020().scaled_to(pct);
+        let opts = CompileOptions {
+            device: device.clone(),
+            ..Default::default()
+        };
+        let base = baselines::baseline_compiled(&f, &opts);
+        let pom = auto_dse(&f, &opts);
+        out.push(Point {
+            framework: "POM",
+            constraint: pct,
+            speedup: pom.compiled.qor.speedup_over(&base.qor),
+            dsp_util: 100.0 * pom.compiled.qor.resources.dsp as f64 / device.dsp.max(1) as f64,
+        });
+        let sh = baselines::scalehls_like(&f, &opts, size);
+        out.push(Point {
+            framework: "ScaleHLS",
+            constraint: pct,
+            speedup: sh.compiled.qor.speedup_over(&base.qor),
+            dsp_util: 100.0 * sh.compiled.qor.resources.dsp as f64 / device.dsp.max(1) as f64,
+        });
+    }
+    out
+}
+
+/// Renders the Fig. 11 reproduction.
+pub fn run() -> String {
+    let pts = results(4096);
+    let mut t = Table::new(
+        "Fig. 11 — 2MM speedup and DSP utilization vs resource constraint",
+        &["Constraint", "Framework", "Speedup", "DSP util. of budget"],
+    );
+    for p in &pts {
+        t.row(&[
+            format!("{}%", p.constraint),
+            p.framework.to_string(),
+            fmt_speedup(p.speedup),
+            format!("{:.0}%", p.dsp_util),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pom_speedup_grows_with_budget() {
+        let pts = results(256);
+        let pom: Vec<&Point> = pts.iter().filter(|p| p.framework == "POM").collect();
+        assert!(pom.last().unwrap().speedup >= pom.first().unwrap().speedup);
+    }
+
+    #[test]
+    fn pom_wins_at_every_constraint() {
+        let pts = results(256);
+        for pct in CONSTRAINTS {
+            let pom = pts
+                .iter()
+                .find(|p| p.framework == "POM" && p.constraint == pct)
+                .unwrap();
+            let sh = pts
+                .iter()
+                .find(|p| p.framework == "ScaleHLS" && p.constraint == pct)
+                .unwrap();
+            assert!(
+                pom.speedup >= sh.speedup,
+                "at {pct}%: POM {} vs ScaleHLS {}",
+                pom.speedup,
+                sh.speedup
+            );
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Fig. 12 — scalability across problem sizes (32 … 8192) on the typical
+//! HLS benchmarks, POM vs ScaleHLS.
+
+use crate::experiments::common::{paper_options, run_pom, run_scalehls, Table};
+use crate::experiments::tab03::benchmarks;
+
+/// The paper's problem-size sweep.
+pub const SIZES: [usize; 6] = [32, 128, 512, 2048, 4096, 8192];
+
+/// One series point.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Problem size.
+    pub size: usize,
+    /// Framework name.
+    pub framework: &'static str,
+    /// Speedup over the unoptimized baseline at that size.
+    pub speedup: f64,
+}
+
+/// Runs the sweep over the given sizes.
+pub fn results(sizes: &[usize]) -> Vec<Point> {
+    let opts = paper_options();
+    let mut out = Vec::new();
+    for &size in sizes {
+        for (name, f) in benchmarks(size) {
+            let pom = run_pom(&f, &opts);
+            out.push(Point {
+                benchmark: name,
+                size,
+                framework: "POM",
+                speedup: pom.speedup,
+            });
+            let sh = run_scalehls(&f, &opts, size);
+            out.push(Point {
+                benchmark: name,
+                size,
+                framework: "ScaleHLS",
+                speedup: sh.speedup,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the Fig. 12 reproduction (one row per benchmark/framework,
+/// one column per size).
+pub fn run() -> String {
+    let pts = results(&SIZES);
+    let mut headers = vec!["Benchmark".to_string(), "Framework".to_string()];
+    headers.extend(SIZES.iter().map(|s| s.to_string()));
+    let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new("Fig. 12 — Speedup vs problem size", &hdr_refs);
+    for (bench, _) in benchmarks(32) {
+        for fw in ["ScaleHLS", "POM"] {
+            let mut cells = vec![bench.to_string(), fw.to_string()];
+            for &s in &SIZES {
+                let p = pts
+                    .iter()
+                    .find(|p| p.benchmark == bench && p.size == s && p.framework == fw)
+                    .expect("point computed");
+                cells.push(format!("{:.1}x", p.speedup));
+            }
+            t.row(&cells);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalehls_declines_at_8192() {
+        // Paper: at 8192 ScaleHLS provides only basic pipelining for
+        // GEMM/2MM/3MM while POM keeps generating high-quality designs.
+        let pts = results(&[2048, 8192]);
+        for b in ["GEMM", "2MM", "3MM"] {
+            let sh_2048 = pts
+                .iter()
+                .find(|p| p.benchmark == b && p.size == 2048 && p.framework == "ScaleHLS")
+                .unwrap()
+                .speedup;
+            let sh_8192 = pts
+                .iter()
+                .find(|p| p.benchmark == b && p.size == 8192 && p.framework == "ScaleHLS")
+                .unwrap()
+                .speedup;
+            let pom_8192 = pts
+                .iter()
+                .find(|p| p.benchmark == b && p.size == 8192 && p.framework == "POM")
+                .unwrap()
+                .speedup;
+            assert!(sh_8192 < sh_2048 / 2.0, "{b}: ScaleHLS declines at 8192");
+            assert!(pom_8192 > 5.0 * sh_8192, "{b}: POM keeps scaling");
+        }
+    }
+
+    #[test]
+    fn both_stable_at_moderate_sizes() {
+        let pts = results(&[128, 512]);
+        for p in &pts {
+            if p.framework == "POM" {
+                assert!(p.speedup > 2.0, "{}@{}: {}", p.benchmark, p.size, p.speedup);
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Fig. 16 — the Jacobi-1d DSL walkthrough: the kernel description, the
+//! expert's manual schedule (skew + pipeline + unroll + partition), and
+//! the `auto_DSE()` design — the paper's point being that autoDSE
+//! generates the same design as the expert schedule.
+
+use crate::experiments::common::{fmt_speedup, paper_options, Table};
+use crate::kernels;
+use pom::{auto_dse, baselines, compile, Function, PartitionStyle};
+
+/// The expert schedule of Fig. 16③: skew the space loop by the time
+/// loop, strip the (now parallel) skewed loop, pipeline, unroll, and
+/// partition the state array.
+pub fn manual_schedule(t: usize, n: usize) -> Function {
+    let mut f = kernels::jacobi1d(t, n);
+    f.skew("s", "t", "i", 1, "t2", "i2");
+    f.split("s", "i2", 8, "i2_0", "i2_1");
+    f.pipeline("s", "i2_0", 1);
+    f.unroll("s", "i2_1", 8);
+    f.partition("B", &[1, 8], PartitionStyle::Cyclic);
+    f
+}
+
+/// Comparison result.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Manual design speedup.
+    pub manual_speedup: f64,
+    /// autoDSE design speedup.
+    pub auto_speedup: f64,
+    /// Whether autoDSE applied a skew (the restructuring of ③).
+    pub auto_used_skew: bool,
+}
+
+/// Runs the comparison.
+pub fn results(t: usize, n: usize) -> Comparison {
+    let opts = paper_options();
+    let f = kernels::jacobi1d(t, n);
+    let base = baselines::baseline_compiled(&f, &opts);
+    let manual = compile(&manual_schedule(t, n), &opts);
+    let auto = auto_dse(&f, &opts);
+    Comparison {
+        manual_speedup: manual.qor.speedup_over(&base.qor),
+        auto_speedup: auto.compiled.qor.speedup_over(&base.qor),
+        auto_used_skew: auto
+            .function
+            .schedule()
+            .iter()
+            .any(|p| matches!(p, pom::Primitive::Skew { .. })),
+    }
+}
+
+/// Renders the Fig. 16 reproduction, including the DSL listing.
+pub fn run() -> String {
+    let t_steps = 128;
+    let n = 4096;
+    let f = kernels::jacobi1d(t_steps, n);
+    let c = results(t_steps, n);
+    let mut out = String::new();
+    out.push_str("== Fig. 16 — Jacobi-1d described with POM DSL ==\n");
+    out.push_str(&f.to_string());
+    out.push_str("\n\nManual schedule (③):\n");
+    for p in manual_schedule(t_steps, n).schedule() {
+        out.push_str(&format!("  {p};\n"));
+    }
+    let mut t = Table::new(
+        "Fig. 16 — manual schedule vs autoDSE (④)",
+        &["Design", "Speedup", "Uses skew"],
+    );
+    t.row(&[
+        "Manual (③)".into(),
+        fmt_speedup(c.manual_speedup),
+        "yes".into(),
+    ]);
+    t.row(&[
+        "autoDSE (④)".into(),
+        fmt_speedup(c.auto_speedup),
+        if c.auto_used_skew { "yes" } else { "no" }.into(),
+    ]);
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_dse_matches_manual_design() {
+        let c = results(16, 256);
+        // Paper: "the autoDSE primitive in ④ is able to generate the same
+        // design as ③" — same ballpark performance without hand-tuning.
+        // (In our cost model the unskewed inner-parallel design is already
+        // equivalent for Jacobi-1d, so autoDSE may legitimately skip the
+        // skew; the Seidel tests cover the mandatory-skew case.)
+        let ratio = c.auto_speedup / c.manual_speedup;
+        assert!(
+            ratio >= 0.9,
+            "autoDSE {} must match manual {}",
+            c.auto_speedup,
+            c.manual_speedup
+        );
+    }
+
+    #[test]
+    fn manual_schedule_preserves_semantics() {
+        use pom::{execute_func, reference_execute, MemoryState};
+        let f = kernels::jacobi1d(6, 24);
+        let m = manual_schedule(6, 24);
+        let opts = paper_options();
+        let compiled = compile(&m, &opts);
+        let mut r1 = MemoryState::for_function_seeded(&f, 9);
+        reference_execute(&f, &mut r1);
+        let mut r2 = MemoryState::for_function_seeded(&f, 9);
+        execute_func(&compiled.affine, &mut r2);
+        assert_eq!(
+            r1.array("B").unwrap().data(),
+            r2.array("B").unwrap().data()
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Experiment harnesses, one module per paper exhibit (see DESIGN.md §4).
+//!
+//! | Module | Paper exhibit |
+//! |---|---|
+//! | [`fig02`] | Fig. 2 — motivating example (BICG) |
+//! | [`tab03`] | Table III — typical HLS benchmarks |
+//! | [`fig11`] | Fig. 11 — 2MM under resource constraints |
+//! | [`tab04`] | Table IV — manual vs DSE on BICG |
+//! | [`fig12`] | Fig. 12 — scalability over problem sizes |
+//! | [`tab05`] | Table V — image + DNN applications |
+//! | [`fig13`] | Fig. 13 — DNN accumulated resources |
+//! | [`tab06`] | Table VI — image critical loops |
+//! | [`tab07`] | Table VII — complicated access patterns |
+//! | [`fig14`] | Fig. 14 — scheduling-primitive ablation |
+//! | [`fig15`] | Fig. 15 — lines-of-code comparison |
+//! | [`fig16`] | Fig. 16 — Jacobi-1d DSL walkthrough |
+//! | [`ext_dtypes`] | Extension — data-type customization (Table I capability) |
+
+pub mod common;
+pub mod ext_dtypes;
+pub mod fig02;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod tab03;
+pub mod tab04;
+pub mod tab05;
+pub mod tab06;
+pub mod tab07;

@@ -1,0 +1,135 @@
+//! Table III — evaluation on typical HLS benchmarks (GEMM, BICG,
+//! GESUMMV, 2MM, 3MM at problem size 4096): speedup, resources, power,
+//! achieved II, tile sizes, parallelism, and DSE time for POLSCA,
+//! ScaleHLS, and POM.
+
+use crate::experiments::common::{
+    fmt_speedup, fmt_util, paper_options, run_polsca, run_pom, run_scalehls, FrameworkRow, Table,
+};
+use crate::kernels;
+use pom::{DeviceSpec, Function};
+
+/// Problem size of Table III.
+pub const SIZE: usize = 4096;
+
+/// The five typical benchmarks.
+pub fn benchmarks(size: usize) -> Vec<(&'static str, Function)> {
+    vec![
+        ("GEMM", kernels::gemm(size)),
+        ("BICG", kernels::bicg(size)),
+        ("GESUMMV", kernels::gesummv(size)),
+        ("2MM", kernels::mm2(size)),
+        ("3MM", kernels::mm3(size)),
+    ]
+}
+
+/// All rows: `(benchmark, framework_row)`.
+pub fn results(size: usize) -> Vec<(&'static str, FrameworkRow)> {
+    let opts = paper_options();
+    let mut out = Vec::new();
+    for (name, f) in benchmarks(size) {
+        out.push((name, run_polsca(&f, &opts)));
+        out.push((name, run_scalehls(&f, &opts, size)));
+        out.push((name, run_pom(&f, &opts)));
+    }
+    out
+}
+
+/// Renders the Table III reproduction.
+pub fn run() -> String {
+    render(results(SIZE))
+}
+
+/// Renders rows computed at any size.
+pub fn render(rows: Vec<(&'static str, FrameworkRow)>) -> String {
+    let d = DeviceSpec::xc7z020();
+    let mut t = Table::new(
+        "Table III — Typical HLS benchmarks (problem size 4096)",
+        &[
+            "Benchmark",
+            "Framework",
+            "Speedup",
+            "DSP (Util.%)",
+            "FF (Util.%)",
+            "LUT (Util.%)",
+            "Power (W)",
+            "Achieved II",
+            "Tiles",
+            "Parallelism",
+            "DSE Time(s)",
+        ],
+    );
+    for (bench, r) in &rows {
+        t.row(&[
+            bench.to_string(),
+            r.framework.clone(),
+            fmt_speedup(r.speedup),
+            fmt_util(r.dsp, d.dsp),
+            fmt_util(r.ff, d.ff),
+            fmt_util(r.lut, d.lut),
+            format!("{:.3}", r.power),
+            if r.ii == 0 { "-".into() } else { r.ii.to_string() },
+            r.tiles.clone(),
+            if r.parallelism > 0.0 {
+                format!("{:.1}", r.parallelism)
+            } else {
+                "-".into()
+            },
+            format!("{:.2}", r.time_s),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speedup_of(rows: &[(&str, FrameworkRow)], bench: &str, fw: &str) -> f64 {
+        rows.iter()
+            .find(|(b, r)| *b == bench && r.framework == fw)
+            .map(|(_, r)| r.speedup)
+            .unwrap_or_else(|| panic!("missing {bench}/{fw}"))
+    }
+
+    #[test]
+    fn table_shape_holds_at_paper_size() {
+        let rows: Vec<(&str, FrameworkRow)> = results(SIZE)
+            .into_iter()
+            .map(|(b, r)| (b, r))
+            .collect();
+        // POM always beats POLSCA, by a lot.
+        for b in ["GEMM", "BICG", "GESUMMV", "2MM", "3MM"] {
+            let pom = speedup_of(&rows, b, "POM");
+            let polsca = speedup_of(&rows, b, "POLSCA");
+            assert!(pom > 5.0 * polsca, "{b}: POM {pom} vs POLSCA {polsca}");
+        }
+        // Paper: POM >> ScaleHLS on BICG and 2MM; near-parity on GEMM.
+        assert!(
+            speedup_of(&rows, "BICG", "POM") > 2.0 * speedup_of(&rows, "BICG", "ScaleHLS")
+        );
+        assert!(
+            speedup_of(&rows, "2MM", "POM") > 1.5 * speedup_of(&rows, "2MM", "ScaleHLS")
+        );
+        let gemm_ratio =
+            speedup_of(&rows, "GEMM", "POM") / speedup_of(&rows, "GEMM", "ScaleHLS");
+        assert!((0.5..=4.0).contains(&gemm_ratio), "GEMM ratio {gemm_ratio}");
+    }
+
+    #[test]
+    fn pom_resources_fit_device() {
+        for (b, r) in results(256) {
+            if r.framework == "POM" {
+                assert!(r.dsp <= 220, "{b} uses {} DSPs", r.dsp);
+            }
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_benchmarks() {
+        let s = render(results(128));
+        for b in ["GEMM", "BICG", "GESUMMV", "2MM", "3MM"] {
+            assert!(s.contains(b));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Table V — image processing and DNN applications: speedup and resource
+//! usage for ScaleHLS and POM, with the P/S ratio columns.
+
+use crate::experiments::common::{
+    fmt_speedup, fmt_util, paper_options, run_pom, run_scalehls, FrameworkRow, Table,
+};
+use crate::kernels;
+use pom::{DeviceSpec, Function};
+
+/// The application set: `(domain, name, function, reported size)`.
+pub fn applications(image_size: usize, dnn_scale: usize) -> Vec<(&'static str, &'static str, Function, usize)> {
+    vec![
+        ("Image", "EdgeDetect", kernels::edge_detect(image_size), image_size),
+        ("Image", "Gaussian", kernels::gaussian(image_size), image_size),
+        ("Image", "Blur", kernels::blur(image_size), image_size),
+        ("DNN", "VGG-16", kernels::vgg16(dnn_scale), 512),
+        ("DNN", "ResNet-18", kernels::resnet18(dnn_scale), 512),
+    ]
+}
+
+/// Rows: `(domain, app, scalehls_row, pom_row)`.
+pub fn results(
+    image_size: usize,
+    dnn_scale: usize,
+) -> Vec<(&'static str, &'static str, FrameworkRow, FrameworkRow)> {
+    let opts = paper_options();
+    let mut out = Vec::new();
+    for (domain, name, f, size) in applications(image_size, dnn_scale) {
+        let sh = run_scalehls(&f, &opts, size);
+        let pom = run_pom(&f, &opts);
+        out.push((domain, name, sh, pom));
+    }
+    out
+}
+
+/// Renders the Table V reproduction.
+pub fn run() -> String {
+    let d = DeviceSpec::xc7z020();
+    let mut t = Table::new(
+        "Table V — Image processing and DNN applications",
+        &[
+            "Domain",
+            "Application",
+            "Speedup (ScaleHLS)",
+            "Speedup (POM)",
+            "P/S",
+            "DSP S",
+            "DSP P",
+            "FF S",
+            "FF P",
+            "LUT S",
+            "LUT P",
+        ],
+    );
+    for (domain, name, sh, pom) in results(4096, 1) {
+        t.row(&[
+            domain.to_string(),
+            name.to_string(),
+            fmt_speedup(sh.speedup),
+            fmt_speedup(pom.speedup),
+            format!("{:.1}", pom.speedup / sh.speedup.max(1e-9)),
+            fmt_util(sh.dsp, d.dsp),
+            fmt_util(pom.dsp, d.dsp),
+            fmt_util(sh.ff, d.ff),
+            fmt_util(pom.ff, d.ff),
+            fmt_util(sh.lut, d.lut),
+            fmt_util(pom.lut, d.lut),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pom_wins_on_image_apps() {
+        for (domain, name, sh, pom) in results(256, 1) {
+            if domain == "Image" {
+                assert!(
+                    pom.speedup > sh.speedup,
+                    "{name}: POM {} vs ScaleHLS {}",
+                    pom.speedup,
+                    sh.speedup
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pom_dnn_fits_device_while_dataflow_overflows_or_underperforms() {
+        // Paper: ScaleHLS's ResNet-18 design exceeds the device; POM's
+        // fits. In our harness ScaleHLS's greedy respects the cap, so the
+        // observable is POM winning on latency on VGG while staying within
+        // resources.
+        for (domain, name, sh, pom) in results(128, 1) {
+            if domain == "DNN" {
+                assert!(pom.dsp <= 220, "{name} POM DSPs {}", pom.dsp);
+                assert!(pom.lut <= 53_200, "{name} POM LUTs {}", pom.lut);
+                assert!(pom.ff <= 106_400, "{name} POM FFs {}", pom.ff);
+                if name == "VGG-16" {
+                    assert!(
+                        pom.speedup > sh.speedup,
+                        "VGG-16: POM {} vs ScaleHLS {}",
+                        pom.speedup,
+                        sh.speedup
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Table VI — optimization of the critical loops of the image apps:
+//! achieved tile sizes, II, and parallelism, ScaleHLS vs POM.
+
+use crate::experiments::common::{paper_options, Table};
+use crate::kernels;
+use pom::{auto_dse, baselines, Function};
+
+/// One row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Framework name.
+    pub framework: &'static str,
+    /// The critical (bottleneck) nest's tile vector.
+    pub tiles: Vec<i64>,
+    /// Achieved II of that nest's pipelined loop.
+    pub ii: u64,
+    /// Parallelism = tile product / II.
+    pub parallelism: f64,
+}
+
+/// Runs the comparison at the given image size.
+pub fn results(size: usize) -> Vec<Row> {
+    let opts = paper_options();
+    let apps: Vec<(&str, Function)> = vec![
+        ("EdgeDetect", kernels::edge_detect(size)),
+        ("Gaussian", kernels::gaussian(size)),
+        ("Blur", kernels::blur(size)),
+    ];
+    let mut out = Vec::new();
+    for (name, f) in apps {
+        let pom = auto_dse(&f, &opts);
+        let pom_tiles = pom
+            .groups
+            .iter()
+            .max_by_key(|g| g.parallelism())
+            .map(|g| g.tiles.clone())
+            .unwrap_or_default();
+        let pom_ii = pom.achieved_iis().into_iter().max().unwrap_or(1);
+        out.push(Row {
+            benchmark: name,
+            framework: "POM",
+            parallelism: pom_tiles.iter().product::<i64>() as f64 / pom_ii.max(1) as f64,
+            tiles: pom_tiles,
+            ii: pom_ii,
+        });
+        let sh = baselines::scalehls_like(&f, &opts, size);
+        let sh_tiles = sh
+            .groups
+            .iter()
+            .max_by_key(|g| g.parallelism())
+            .map(|g| g.tiles.clone())
+            .unwrap_or_default();
+        let sh_ii = sh.achieved_ii().max(1);
+        out.push(Row {
+            benchmark: name,
+            framework: "ScaleHLS",
+            parallelism: sh_tiles.iter().product::<i64>() as f64 / sh_ii as f64,
+            tiles: sh_tiles,
+            ii: sh_ii,
+        });
+    }
+    out
+}
+
+/// Renders the Table VI reproduction.
+pub fn run() -> String {
+    let mut t = Table::new(
+        "Table VI — Critical-loop optimization on image apps",
+        &["Benchmark", "Framework", "Tile sizes", "Achieved II", "Parallelism"],
+    );
+    for r in results(4096) {
+        let tiles: Vec<String> = r.tiles.iter().map(|x| x.to_string()).collect();
+        t.row(&[
+            r.benchmark.to_string(),
+            r.framework.to_string(),
+            format!("[{}]", tiles.join(", ")),
+            r.ii.to_string(),
+            format!("{:.2}", r.parallelism),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pom_parallelism_dominates() {
+        let rows = results(256);
+        for b in ["EdgeDetect", "Gaussian", "Blur"] {
+            let pom = rows
+                .iter()
+                .find(|r| r.benchmark == b && r.framework == "POM")
+                .unwrap();
+            let sh = rows
+                .iter()
+                .find(|r| r.benchmark == b && r.framework == "ScaleHLS")
+                .unwrap();
+            assert!(
+                pom.parallelism >= sh.parallelism,
+                "{b}: POM {} vs ScaleHLS {}",
+                pom.parallelism,
+                sh.parallelism
+            );
+            assert!(pom.ii <= sh.ii, "{b}: POM II {} vs ScaleHLS {}", pom.ii, sh.ii);
+        }
+    }
+}

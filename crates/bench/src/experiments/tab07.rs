@@ -1,0 +1,145 @@
+//! Table VII — evaluation on complicated data access patterns:
+//! Jacobi-1d, Jacobi-2d, Heat-1d, and Seidel. POM's loop skewing unlocks
+//! these stencils; ScaleHLS/POLSCA cannot improve them much.
+
+use crate::experiments::common::{fmt_speedup, fmt_util, paper_options, Table};
+use crate::kernels;
+use pom::{auto_dse, baselines, DeviceSpec, Function};
+
+/// One row of Table VII.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark.
+    pub benchmark: &'static str,
+    /// POM speedup over the unoptimized baseline.
+    pub speedup: f64,
+    /// ScaleHLS speedup (for the shape check; the paper reports prose).
+    pub scalehls_speedup: f64,
+    /// Resources.
+    pub dsp: u64,
+    /// FF.
+    pub ff: u64,
+    /// LUT.
+    pub lut: u64,
+    /// Whether POM's schedule used skewing.
+    pub used_skew: bool,
+}
+
+/// The stencil set at a given scale (time steps, spatial size).
+pub fn stencils(t: usize, n: usize) -> Vec<(&'static str, Function)> {
+    vec![
+        ("Jacobi-1d", kernels::jacobi1d(t, n)),
+        ("Jacobi-2d", kernels::jacobi2d(t, n / 8)),
+        ("Heat-1d", kernels::heat1d(t, n)),
+        ("Seidel", kernels::seidel(n / 4)),
+    ]
+}
+
+/// Runs the stencil evaluation.
+pub fn results(t: usize, n: usize) -> Vec<Row> {
+    let opts = paper_options();
+    let mut out = Vec::new();
+    for (name, f) in stencils(t, n) {
+        let base = baselines::baseline_compiled(&f, &opts);
+        let pom = auto_dse(&f, &opts);
+        let sh = baselines::scalehls_like(&f, &opts, n);
+        let used_skew = pom
+            .function
+            .schedule()
+            .iter()
+            .any(|p| matches!(p, pom::Primitive::Skew { .. }));
+        out.push(Row {
+            benchmark: name,
+            speedup: pom.compiled.qor.speedup_over(&base.qor),
+            scalehls_speedup: sh.compiled.qor.speedup_over(&base.qor),
+            dsp: pom.compiled.qor.resources.dsp,
+            ff: pom.compiled.qor.resources.ff,
+            lut: pom.compiled.qor.resources.lut,
+            used_skew,
+        });
+    }
+    out
+}
+
+/// Renders the Table VII reproduction.
+pub fn run() -> String {
+    let d = DeviceSpec::xc7z020();
+    let mut t = Table::new(
+        "Table VII — Complicated code patterns (POM; ScaleHLS for reference)",
+        &[
+            "Benchmark",
+            "Speedup",
+            "ScaleHLS speedup",
+            "DSP(Util.%)",
+            "FF(Util.%)",
+            "LUT(Util.%)",
+            "Skew used",
+        ],
+    );
+    for r in results(128, 4096) {
+        t.row(&[
+            r.benchmark.to_string(),
+            fmt_speedup(r.speedup),
+            fmt_speedup(r.scalehls_speedup),
+            fmt_util(r.dsp, d.dsp),
+            fmt_util(r.ff, d.ff),
+            fmt_util(r.lut, d.lut),
+            if r.used_skew { "yes".into() } else { "no".into() },
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pom_improves_all_stencils() {
+        for r in results(16, 256) {
+            assert!(
+                r.speedup > 5.0,
+                "{}: POM speedup {} too low",
+                r.benchmark,
+                r.speedup
+            );
+            // On stencils whose dependences are carried by the time loop
+            // alone (Jacobi/Heat), a dependence-unaware tiler can find an
+            // equivalent design; POM must never be meaningfully worse and
+            // must dominate when skewing is required (see the Seidel
+            // test).
+            assert!(
+                r.speedup >= 0.9 * r.scalehls_speedup,
+                "{}: POM {} vs ScaleHLS {}",
+                r.benchmark,
+                r.speedup,
+                r.scalehls_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn skewing_is_used_where_needed() {
+        let rows = results(16, 256);
+        // Jacobi-style time stencils and Seidel all need restructuring;
+        // at minimum Seidel (carried in both dims) must skew — and it must
+        // clearly beat the skew-less ScaleHLS there.
+        let seidel = rows.iter().find(|r| r.benchmark == "Seidel").unwrap();
+        assert!(seidel.used_skew, "Seidel requires loop skewing");
+        assert!(
+            seidel.speedup > 1.5 * seidel.scalehls_speedup,
+            "Seidel: POM {} vs ScaleHLS {}",
+            seidel.speedup,
+            seidel.scalehls_speedup
+        );
+    }
+
+    #[test]
+    fn resource_use_is_moderate() {
+        // Paper: stencils show comparatively low utilization because the
+        // carried dependences bound the profitable parallelism.
+        for r in results(16, 256) {
+            assert!(r.dsp <= 220, "{}: {}", r.benchmark, r.dsp);
+        }
+    }
+}

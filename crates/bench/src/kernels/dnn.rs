@@ -1,0 +1,257 @@
+//! DNN workloads (Table V / Fig. 13): VGG-16 and ResNet-18 as chains of
+//! convolution computes.
+//!
+//! The paper evaluates the *critical loops* — nested loops deeper than
+//! four levels — of each network: 13 convolution loops for VGG-16 and 20
+//! critical loops (17 convolutions + 3 residual additions) for ResNet-18.
+//! We instantiate each critical loop as one 6-level convolution compute
+//! `out[co][y][x] += w[co][ci][kh][kw] * in[ci][y+kh][x+kw]` chained
+//! through feature-map arrays, with channel/spatial shapes scaled down by
+//! a constant factor so the whole network stays tractable for repeated
+//! DSE estimation (documented substitution — the scheduling decisions
+//! depend on the loop *structure*, not on the absolute extents).
+
+use pom_dsl::{DataType, Function, Placeholder};
+
+/// One convolution layer: returns the output feature-map placeholder.
+fn conv_layer(
+    f: &mut Function,
+    name: &str,
+    input: &Placeholder,
+    ci: usize,
+    co: usize,
+    size: usize,
+) -> Placeholder {
+    let ksize = 3usize;
+    let out = f.placeholder(&format!("{name}_out"), &[co, size, size], DataType::F32);
+    let w = f.placeholder(
+        &format!("{name}_w"),
+        &[co, ci, ksize, ksize],
+        DataType::F32,
+    );
+    let vco = f.var(&format!("{name}_co"), 0, co as i64);
+    let vy = f.var(&format!("{name}_y"), 0, size as i64);
+    let vx = f.var(&format!("{name}_x"), 0, size as i64);
+    let vci = f.var(&format!("{name}_ci"), 0, ci as i64);
+    let vkh = f.var(&format!("{name}_kh"), 0, ksize as i64);
+    let vkw = f.var(&format!("{name}_kw"), 0, ksize as i64);
+    let in_y = vy.expr() + vkh.expr();
+    let in_x = vx.expr() + vkw.expr();
+    let body = out.at(&[&vco.expr(), &vy.expr(), &vx.expr()])
+        + w.at(&[vco.expr(), vci.expr(), vkh.expr(), vkw.expr()])
+            * input.at(&[vci.expr(), in_y, in_x]);
+    f.compute(
+        name,
+        &[
+            vco.clone(),
+            vy.clone(),
+            vx.clone(),
+            vci.clone(),
+            vkh.clone(),
+            vkw.clone(),
+        ],
+        body,
+        out.access(&[&vco.expr(), &vy.expr(), &vx.expr()]),
+    );
+    out
+}
+
+/// A residual addition: `out = a + b`, element-wise over a feature map.
+fn residual_add(
+    f: &mut Function,
+    name: &str,
+    a: &Placeholder,
+    b: &Placeholder,
+    c_: usize,
+    size: usize,
+) -> Placeholder {
+    let out = f.placeholder(&format!("{name}_out"), &[c_, size, size], DataType::F32);
+    let vc = f.var(&format!("{name}_c"), 0, c_ as i64);
+    let vy = f.var(&format!("{name}_y"), 0, size as i64);
+    let vx = f.var(&format!("{name}_x"), 0, size as i64);
+    let idx = [vc.expr(), vy.expr(), vx.expr()];
+    f.compute(
+        name,
+        &[vc.clone(), vy.clone(), vx.clone()],
+        a.at(&idx) + b.at(&idx),
+        out.access(&idx),
+    );
+    out
+}
+
+/// A padded input feature map for a convolution of the given spatial size.
+fn feature_input(f: &mut Function, name: &str, c: usize, size: usize) -> Placeholder {
+    f.placeholder(name, &[c, size + 2, size + 2], DataType::F32)
+}
+
+/// VGG-16: the 13 convolution critical loops, channels scaled by `scale`
+/// (1 = a tiny instance; the paper's channel plan divided by 16 at
+/// `scale = 1`).
+pub fn vgg16(scale: usize) -> Function {
+    let mut f = Function::new("vgg16");
+    // (channels_out, spatial) per VGG-16 conv layer, divided by 16.
+    let plan: [(usize, usize); 13] = [
+        (4, 16),
+        (4, 16),
+        (8, 8),
+        (8, 8),
+        (16, 4),
+        (16, 4),
+        (16, 4),
+        (32, 2),
+        (32, 2),
+        (32, 2),
+        (32, 2),
+        (32, 2),
+        (32, 2),
+    ];
+    let mut ci = 3usize.max(scale);
+    let input = feature_input(&mut f, "input", ci, plan[0].1 * scale);
+    let mut cur = input;
+    for (l, &(co_base, sz_base)) in plan.iter().enumerate() {
+        let co = co_base * scale;
+        let size = sz_base * scale;
+        // Note: pooling between stages is modelled by the shrinking
+        // spatial size; the conv input is re-padded implicitly by shape.
+        let needs_repad = cur.shape()[1] != size + 2;
+        let inp = if needs_repad {
+            let repad = f.placeholder(
+                &format!("pool{l}"),
+                &[cur.shape()[0], size + 2, size + 2],
+                DataType::F32,
+            );
+            let vc = f.var(&format!("pl{l}_c"), 0, cur.shape()[0] as i64);
+            let vy = f.var(&format!("pl{l}_y"), 0, (size + 2) as i64);
+            let vx = f.var(&format!("pl{l}_x"), 0, (size + 2) as i64);
+            // 2x2 subsampling read (max-pool approximated by strided copy:
+            // same loop structure and data movement, cheaper expression).
+            let sy = vy.expr() * 2;
+            let sx = vx.expr() * 2;
+            f.compute(
+                &format!("pool{l}_c"),
+                &[vc.clone(), vy.clone(), vx.clone()],
+                cur.at(&[vc.expr(), sy, sx]),
+                repad.access(&[vc.expr(), vy.expr(), vx.expr()]),
+            );
+            repad
+        } else {
+            cur
+        };
+        cur = conv_layer(&mut f, &format!("conv{l}"), &inp, ci, co, size);
+        ci = co;
+    }
+    f
+}
+
+/// ResNet-18: 17 convolution critical loops + 3 residual additions
+/// (20 critical loops, as the paper counts), channels scaled by `scale`.
+pub fn resnet18(scale: usize) -> Function {
+    let mut f = Function::new("resnet18");
+    let c0 = 4 * scale;
+    let size0 = 8 * scale;
+    let input = feature_input(&mut f, "input", 3.max(scale), size0);
+    // Initial conv.
+    let mut cur = conv_layer(&mut f, "conv0", &input, 3.max(scale), c0, size0);
+    let mut ci = c0;
+    let mut size = size0;
+    let mut conv_idx = 1;
+    let mut res_idx = 0;
+    // 4 stages x 2 basic blocks x 2 convs = 16 convs; residual adds on the
+    // first block of stages 2..4 (3 residual critical loops).
+    for stage in 0..4 {
+        let co = c0 << stage.min(3);
+        for block in 0..2 {
+            let pad_in = repad(&mut f, &cur, size, &format!("rp{conv_idx}"));
+            let c1 = conv_layer(&mut f, &format!("conv{conv_idx}"), &pad_in, ci, co, size);
+            conv_idx += 1;
+            let pad_mid = repad(&mut f, &c1, size, &format!("rp{conv_idx}"));
+            let c2 = conv_layer(&mut f, &format!("conv{conv_idx}"), &pad_mid, co, co, size);
+            conv_idx += 1;
+            if stage > 0 && block == 0 && res_idx < 3 {
+                cur = residual_add(&mut f, &format!("res{res_idx}"), &c2, &c1, co, size);
+                res_idx += 1;
+            } else {
+                cur = c2;
+            }
+            ci = co;
+        }
+        if stage < 3 {
+            size = (size / 2).max(2);
+        }
+    }
+    f
+}
+
+/// Copies a feature map into a padded buffer of the next layer's input
+/// shape (boundary handling for the affine conv accesses).
+fn repad(f: &mut Function, cur: &Placeholder, size: usize, name: &str) -> Placeholder {
+    let c = cur.shape()[0];
+    let out = f.placeholder(&format!("{name}_buf"), &[c, size + 2, size + 2], DataType::F32);
+    let vc = f.var(&format!("{name}_c"), 0, c as i64);
+    let vy = f.var(&format!("{name}_y"), 0, cur.shape()[1].min(size + 2) as i64);
+    let vx = f.var(&format!("{name}_x"), 0, cur.shape()[2].min(size + 2) as i64);
+    let idx = [vc.expr(), vy.expr(), vx.expr()];
+    f.compute(
+        name,
+        &[vc.clone(), vy.clone(), vx.clone()],
+        cur.at(&idx),
+        out.access(&idx),
+    );
+    out
+}
+
+/// Number of *critical loops* (nests deeper than four levels, plus the
+/// residual loops the paper counts) in a function — convolutions here.
+pub fn critical_loop_count(f: &Function) -> usize {
+    f.computes()
+        .iter()
+        .filter(|c| c.iters().len() > 4 || c.name().starts_with("res"))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_has_13_critical_loops() {
+        let f = vgg16(1);
+        assert_eq!(critical_loop_count(&f), 13);
+    }
+
+    #[test]
+    fn resnet18_has_20_critical_loops() {
+        let f = resnet18(1);
+        // Paper: 17 convolution loops + 3 residual loops.
+        let convs = f
+            .computes()
+            .iter()
+            .filter(|c| c.iters().len() > 4)
+            .count();
+        let residuals = f
+            .computes()
+            .iter()
+            .filter(|c| c.name().starts_with("res"))
+            .count();
+        assert_eq!(convs, 17);
+        assert_eq!(residuals, 3);
+        assert_eq!(critical_loop_count(&f), 20);
+    }
+
+    #[test]
+    fn conv_layers_chain_through_feature_maps() {
+        let f = vgg16(1);
+        let g = pom_graph::DepGraph::build(&f);
+        // The layer chain forms one long path.
+        let longest = g.data_paths().iter().map(Vec::len).max().unwrap();
+        assert!(longest >= 13, "longest path {longest}");
+    }
+
+    #[test]
+    fn conv_reduction_dims_detected() {
+        let f = vgg16(1);
+        let c = f.find_compute("conv0").unwrap();
+        // Reductions: ci, kh, kw (levels 3, 4, 5).
+        assert_eq!(c.reduction_dims(), vec![3, 4, 5]);
+    }
+}

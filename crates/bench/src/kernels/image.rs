@@ -1,0 +1,181 @@
+//! Image-processing applications (Table V): EdgeDetect, Gaussian, Blur.
+//!
+//! Each is a multi-stage pipeline of 2-D convolutions with constant
+//! kernels, written — as in Halide-derived DSLs — as fully unrolled
+//! neighborhood sums (no reduction loops), so every loop level is
+//! parallel and the contest is purely about tiling/partitioning quality.
+
+use pom_dsl::{DataType, Expr, Function, Placeholder, Var};
+use pom_poly::LinearExpr;
+
+/// A 3×3 convolution expression around `(i, j)` with the given constant
+/// kernel (row-major).
+fn conv3x3(input: &Placeholder, i: &Var, j: &Var, kernel: [f64; 9]) -> Expr {
+    let mut acc: Option<Expr> = None;
+    for (idx, &w) in kernel.iter().enumerate() {
+        if w == 0.0 {
+            continue;
+        }
+        let di = (idx / 3) as i64 - 1;
+        let dj = (idx % 3) as i64 - 1;
+        let e = input.at(&[i.expr() + di, j.expr() + dj]) * w;
+        acc = Some(match acc {
+            Some(a) => a + e,
+            None => e,
+        });
+    }
+    acc.expect("kernel has at least one non-zero tap")
+}
+
+/// `EdgeDetect` (from Tiramisu's suite): grayscale smoothing followed by
+/// a gradient-magnitude stage built from horizontal/vertical Sobel taps.
+pub fn edge_detect(n: usize) -> Function {
+    let n_ = n as i64;
+    let mut f = Function::new("edge_detect");
+    let i = f.var("i", 1, n_ - 1);
+    let j = f.var("j", 1, n_ - 1);
+    let input = f.placeholder("img", &[n, n], DataType::F32);
+    let smooth = f.placeholder("smooth", &[n, n], DataType::F32);
+    let gx = f.placeholder("gx", &[n, n], DataType::F32);
+    let gy = f.placeholder("gy", &[n, n], DataType::F32);
+    let out = f.placeholder("edges", &[n, n], DataType::F32);
+
+    let box_k = [1.0 / 9.0; 9];
+    f.compute(
+        "smooth",
+        &[i.clone(), j.clone()],
+        conv3x3(&input, &i, &j, box_k),
+        smooth.access(&[&i, &j]),
+    );
+    let sobel_x = [-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0];
+    let sobel_y = [-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0];
+    f.compute(
+        "gradx",
+        &[i.clone(), j.clone()],
+        conv3x3(&smooth, &i, &j, sobel_x),
+        gx.access(&[&i, &j]),
+    );
+    f.compute(
+        "grady",
+        &[i.clone(), j.clone()],
+        conv3x3(&smooth, &i, &j, sobel_y),
+        gy.access(&[&i, &j]),
+    );
+    f.compute(
+        "mag",
+        &[i.clone(), j.clone()],
+        gx.at(&[&i, &j]) * gx.at(&[&i, &j]) + gy.at(&[&i, &j]) * gy.at(&[&i, &j]),
+        out.access(&[&i, &j]),
+    );
+    f
+}
+
+/// `Gaussian` (from Tiramisu's suite): a 3×3 Gaussian smoothing kernel
+/// applied twice.
+pub fn gaussian(n: usize) -> Function {
+    let n_ = n as i64;
+    let mut f = Function::new("gaussian");
+    let i = f.var("i", 1, n_ - 1);
+    let j = f.var("j", 1, n_ - 1);
+    let input = f.placeholder("img", &[n, n], DataType::F32);
+    let tmp = f.placeholder("tmp", &[n, n], DataType::F32);
+    let out = f.placeholder("out", &[n, n], DataType::F32);
+    let g = [
+        1.0 / 16.0,
+        2.0 / 16.0,
+        1.0 / 16.0,
+        2.0 / 16.0,
+        4.0 / 16.0,
+        2.0 / 16.0,
+        1.0 / 16.0,
+        2.0 / 16.0,
+        1.0 / 16.0,
+    ];
+    f.compute(
+        "g1",
+        &[i.clone(), j.clone()],
+        conv3x3(&input, &i, &j, g),
+        tmp.access(&[&i, &j]),
+    );
+    f.compute(
+        "g2",
+        &[i.clone(), j.clone()],
+        conv3x3(&tmp, &i, &j, g),
+        out.access(&[&i, &j]),
+    );
+    f
+}
+
+/// `Blur` (Halide's two-stage separable box blur): horizontal then
+/// vertical 1×3 averaging.
+pub fn blur(n: usize) -> Function {
+    let n_ = n as i64;
+    let mut f = Function::new("blur");
+    let i = f.var("i", 1, n_ - 1);
+    let j = f.var("j", 1, n_ - 1);
+    let input = f.placeholder("img", &[n, n], DataType::F32);
+    let bx = f.placeholder("blurx", &[n, n], DataType::F32);
+    let out = f.placeholder("blury", &[n, n], DataType::F32);
+    let jm1: LinearExpr = j.expr() - 1;
+    let jp1: LinearExpr = j.expr() + 1;
+    let im1: LinearExpr = i.expr() - 1;
+    let ip1: LinearExpr = i.expr() + 1;
+    f.compute(
+        "blurx",
+        &[i.clone(), j.clone()],
+        (input.at(&[i.expr(), jm1.clone()]) + input.at(&[&i, &j]) + input.at(&[i.expr(), jp1.clone()]))
+            / 3.0,
+        bx.access(&[&i, &j]),
+    );
+    f.compute(
+        "blury",
+        &[i.clone(), j.clone()],
+        (bx.at(&[im1.clone(), j.expr()]) + bx.at(&[&i, &j]) + bx.at(&[ip1.clone(), j.expr()])) / 3.0,
+        out.access(&[&i, &j]),
+    );
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pom_graph::DepGraph;
+
+    #[test]
+    fn pipelines_have_expected_stage_counts() {
+        assert_eq!(edge_detect(64).computes().len(), 4);
+        assert_eq!(gaussian(64).computes().len(), 2);
+        assert_eq!(blur(64).computes().len(), 2);
+    }
+
+    #[test]
+    fn stages_are_fully_parallel() {
+        for f in [edge_detect(64), gaussian(64), blur(64)] {
+            let g = DepGraph::build(&f);
+            for n in g.nodes() {
+                assert!(
+                    !n.analysis.has_carried_dependence(),
+                    "{} stage {} unexpectedly carried",
+                    f.name(),
+                    n.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_detect_paths_run_through_gradients() {
+        let g = DepGraph::build(&edge_detect(64));
+        let paths: Vec<Vec<&str>> = g.data_paths().iter().map(|p| g.path_names(p)).collect();
+        assert!(paths.contains(&vec!["smooth", "gradx", "mag"]));
+        assert!(paths.contains(&vec!["smooth", "grady", "mag"]));
+    }
+
+    #[test]
+    fn conv3x3_drops_zero_taps() {
+        let f = edge_detect(64);
+        let gradx = f.find_compute("gradx").unwrap();
+        // Sobel X has 6 non-zero taps.
+        assert_eq!(gradx.loads().len(), 6);
+    }
+}

@@ -1,0 +1,9 @@
+//! Benchmark kernels in the POM DSL.
+
+pub mod dnn;
+pub mod image;
+pub mod polybench;
+
+pub use dnn::{resnet18, vgg16};
+pub use image::{blur, edge_detect, gaussian};
+pub use polybench::{atax, bicg, doitgen, gemm, gesummv, heat1d, jacobi1d, jacobi2d, mm2, mm3, mvt, seidel};

@@ -1,0 +1,413 @@
+//! PolyBench kernels in the POM DSL — the paper's typical HLS benchmarks
+//! (GEMM, BICG, GESUMMV, 2MM, 3MM) and the complicated-pattern stencils
+//! (Jacobi-1d, Jacobi-2d, Heat-1d, Seidel).
+//!
+//! Time-iterated stencils are written with a time-expanded state array
+//! (`B[t][i]` instead of PolyBench's double-buffer pair), which preserves
+//! the dependence structure — the (1, ·) time-carried distances — while
+//! staying a single affine compute.
+
+use pom_dsl::{DataType, Function};
+
+/// `GEMM`: `A[i][j] += B[i][k] * C[k][j]`, written as the paper's Fig. 4
+/// with the reduction loop `k` outermost.
+pub fn gemm(n: usize) -> Function {
+    let n_ = n as i64;
+    let mut f = Function::new("gemm");
+    let k = f.var("k", 0, n_);
+    let i = f.var("i", 0, n_);
+    let j = f.var("j", 0, n_);
+    let a = f.placeholder("A", &[n, n], DataType::F32);
+    let b = f.placeholder("B", &[n, n], DataType::F32);
+    let c = f.placeholder("C", &[n, n], DataType::F32);
+    f.compute(
+        "s",
+        &[k.clone(), i.clone(), j.clone()],
+        a.at(&[&i, &j]) + b.at(&[&i, &k]) * c.at(&[&k, &j]),
+        a.access(&[&i, &j]),
+    );
+    f
+}
+
+/// `BICG`: the motivating example (Fig. 2): `s[j] += r[i]*A[i][j]` and
+/// `q[i] += A[i][j]*p[j]` sharing one iteration space.
+pub fn bicg(n: usize) -> Function {
+    let n_ = n as i64;
+    let mut f = Function::new("bicg");
+    let i = f.var("i", 0, n_);
+    let j = f.var("j", 0, n_);
+    let a = f.placeholder("A", &[n, n], DataType::F32);
+    let s = f.placeholder("s", &[n], DataType::F32);
+    let q = f.placeholder("q", &[n], DataType::F32);
+    let p = f.placeholder("p", &[n], DataType::F32);
+    let r = f.placeholder("r", &[n], DataType::F32);
+    f.compute(
+        "S1",
+        &[i.clone(), j.clone()],
+        s.at(&[&j]) + r.at(&[&i]) * a.at(&[&i, &j]),
+        s.access(&[&j]),
+    );
+    f.compute(
+        "S2",
+        &[i.clone(), j.clone()],
+        q.at(&[&i]) + a.at(&[&i, &j]) * p.at(&[&j]),
+        q.access(&[&i]),
+    );
+    f
+}
+
+/// `GESUMMV`: `tmp = A·x`, `y = B·x`, then `y = alpha*tmp + beta*y`.
+pub fn gesummv(n: usize) -> Function {
+    let n_ = n as i64;
+    let mut f = Function::new("gesummv");
+    let i = f.var("i", 0, n_);
+    let j = f.var("j", 0, n_);
+    let a = f.placeholder("A", &[n, n], DataType::F32);
+    let b = f.placeholder("B", &[n, n], DataType::F32);
+    let x = f.placeholder("x", &[n], DataType::F32);
+    let tmp = f.placeholder("tmp", &[n], DataType::F32);
+    let y = f.placeholder("y", &[n], DataType::F32);
+    f.compute(
+        "S1",
+        &[i.clone(), j.clone()],
+        tmp.at(&[&i]) + a.at(&[&i, &j]) * x.at(&[&j]),
+        tmp.access(&[&i]),
+    );
+    f.compute(
+        "S2",
+        &[i.clone(), j.clone()],
+        y.at(&[&i]) + b.at(&[&i, &j]) * x.at(&[&j]),
+        y.access(&[&i]),
+    );
+    f.compute(
+        "S3",
+        &[i.clone()],
+        1.5 * tmp.at(&[&i]) + 1.2 * y.at(&[&i]),
+        y.access(&[&i]),
+    );
+    f
+}
+
+/// `2MM`: `tmp = A·B`, `D += tmp·C` — two chained matrix products.
+pub fn mm2(n: usize) -> Function {
+    let n_ = n as i64;
+    let mut f = Function::new("mm2");
+    let k = f.var("k", 0, n_);
+    let i = f.var("i", 0, n_);
+    let j = f.var("j", 0, n_);
+    let a = f.placeholder("A", &[n, n], DataType::F32);
+    let b = f.placeholder("B", &[n, n], DataType::F32);
+    let c = f.placeholder("C", &[n, n], DataType::F32);
+    let tmp = f.placeholder("tmp", &[n, n], DataType::F32);
+    let d = f.placeholder("D", &[n, n], DataType::F32);
+    f.compute(
+        "mm1",
+        &[k.clone(), i.clone(), j.clone()],
+        tmp.at(&[&i, &j]) + a.at(&[&i, &k]) * b.at(&[&k, &j]),
+        tmp.access(&[&i, &j]),
+    );
+    f.compute(
+        "mm2",
+        &[k.clone(), i.clone(), j.clone()],
+        d.at(&[&i, &j]) + tmp.at(&[&i, &k]) * c.at(&[&k, &j]),
+        d.access(&[&i, &j]),
+    );
+    f
+}
+
+/// `3MM`: `E = A·B`, `F = C·D`, `G = E·F`.
+pub fn mm3(n: usize) -> Function {
+    let n_ = n as i64;
+    let mut f = Function::new("mm3");
+    let k = f.var("k", 0, n_);
+    let i = f.var("i", 0, n_);
+    let j = f.var("j", 0, n_);
+    let a = f.placeholder("A", &[n, n], DataType::F32);
+    let b = f.placeholder("B", &[n, n], DataType::F32);
+    let c = f.placeholder("C", &[n, n], DataType::F32);
+    let d = f.placeholder("D", &[n, n], DataType::F32);
+    let e = f.placeholder("E", &[n, n], DataType::F32);
+    let g = f.placeholder("Fm", &[n, n], DataType::F32);
+    let out = f.placeholder("G", &[n, n], DataType::F32);
+    f.compute(
+        "mm1",
+        &[k.clone(), i.clone(), j.clone()],
+        e.at(&[&i, &j]) + a.at(&[&i, &k]) * b.at(&[&k, &j]),
+        e.access(&[&i, &j]),
+    );
+    f.compute(
+        "mm2",
+        &[k.clone(), i.clone(), j.clone()],
+        g.at(&[&i, &j]) + c.at(&[&i, &k]) * d.at(&[&k, &j]),
+        g.access(&[&i, &j]),
+    );
+    f.compute(
+        "mm3",
+        &[k.clone(), i.clone(), j.clone()],
+        out.at(&[&i, &j]) + e.at(&[&i, &k]) * g.at(&[&k, &j]),
+        out.access(&[&i, &j]),
+    );
+    f
+}
+
+/// `Jacobi-1d`: `B[t][i] = (B[t-1][i-1] + B[t-1][i] + B[t-1][i+1]) / 3`
+/// over `tsteps` time iterations (Fig. 16 of the paper).
+pub fn jacobi1d(tsteps: usize, n: usize) -> Function {
+    let mut f = Function::new("jacobi1d");
+    let t = f.var("t", 1, tsteps as i64);
+    let i = f.var("i", 1, n as i64 - 1);
+    let b = f.placeholder("B", &[tsteps, n], DataType::F32);
+    let tm1 = t.expr() - 1;
+    let im1 = i.expr() - 1;
+    let ip1 = i.expr() + 1;
+    f.compute(
+        "s",
+        &[t.clone(), i.clone()],
+        (b.at(&[tm1.clone(), im1.clone()])
+            + b.at(&[tm1.clone(), i.expr()])
+            + b.at(&[tm1.clone(), ip1.clone()]))
+            / 3.0,
+        b.access(&[&t, &i]),
+    );
+    f
+}
+
+/// `Jacobi-2d`: the 5-point time-iterated 2-D stencil.
+pub fn jacobi2d(tsteps: usize, n: usize) -> Function {
+    let mut f = Function::new("jacobi2d");
+    let t = f.var("t", 1, tsteps as i64);
+    let i = f.var("i", 1, n as i64 - 1);
+    let j = f.var("j", 1, n as i64 - 1);
+    let b = f.placeholder("B", &[tsteps, n, n], DataType::F32);
+    let tm1 = t.expr() - 1;
+    let im1 = i.expr() - 1;
+    let ip1 = i.expr() + 1;
+    let jm1 = j.expr() - 1;
+    let jp1 = j.expr() + 1;
+    f.compute(
+        "s",
+        &[t.clone(), i.clone(), j.clone()],
+        (b.at(&[tm1.clone(), i.expr(), j.expr()])
+            + b.at(&[tm1.clone(), im1.clone(), j.expr()])
+            + b.at(&[tm1.clone(), ip1.clone(), j.expr()])
+            + b.at(&[tm1.clone(), i.expr(), jm1.clone()])
+            + b.at(&[tm1.clone(), i.expr(), jp1.clone()]))
+            * 0.2,
+        b.access(&[&t, &i, &j]),
+    );
+    f
+}
+
+/// `Heat-1d`: explicit finite-difference heat equation.
+pub fn heat1d(tsteps: usize, n: usize) -> Function {
+    let mut f = Function::new("heat1d");
+    let t = f.var("t", 1, tsteps as i64);
+    let i = f.var("i", 1, n as i64 - 1);
+    let b = f.placeholder("B", &[tsteps, n], DataType::F32);
+    let tm1 = t.expr() - 1;
+    let im1 = i.expr() - 1;
+    let ip1 = i.expr() + 1;
+    f.compute(
+        "s",
+        &[t.clone(), i.clone()],
+        b.at(&[tm1.clone(), i.expr()])
+            + 0.125
+                * (b.at(&[tm1.clone(), ip1.clone()]) - 2.0 * b.at(&[tm1.clone(), i.expr()])
+                    + b.at(&[tm1.clone(), im1.clone()])),
+        b.access(&[&t, &i]),
+    );
+    f
+}
+
+/// `Seidel`: the in-place Gauss–Seidel sweep with tight loop-carried
+/// dependences in *both* spatial dimensions — the stencil the paper uses
+/// to show PolySA/AutoSA-style tools degrading (Section II-C) and loop
+/// skewing paying off (Fig. 14).
+pub fn seidel(n: usize) -> Function {
+    let n_ = n as i64;
+    let mut f = Function::new("seidel");
+    let i = f.var("i", 1, n_ - 1);
+    let j = f.var("j", 1, n_ - 1);
+    let a = f.placeholder("A", &[n, n], DataType::F32);
+    let im1 = i.expr() - 1;
+    let jm1 = j.expr() - 1;
+    let ip1 = i.expr() + 1;
+    let jp1 = j.expr() + 1;
+    f.compute(
+        "s",
+        &[i.clone(), j.clone()],
+        (a.at(&[im1.clone(), j.expr()])
+            + a.at(&[i.expr(), jm1.clone()])
+            + a.at(&[&i, &j])
+            + a.at(&[i.expr(), jp1.clone()])
+            + a.at(&[ip1.clone(), j.expr()]))
+            * 0.2,
+        a.access(&[&i, &j]),
+    );
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_build() {
+        assert_eq!(gemm(32).computes().len(), 1);
+        assert_eq!(bicg(32).computes().len(), 2);
+        assert_eq!(gesummv(32).computes().len(), 3);
+        assert_eq!(mm2(32).computes().len(), 2);
+        assert_eq!(mm3(32).computes().len(), 3);
+        assert_eq!(jacobi1d(8, 32).computes().len(), 1);
+        assert_eq!(jacobi2d(4, 16).computes().len(), 1);
+        assert_eq!(heat1d(8, 32).computes().len(), 1);
+        assert_eq!(seidel(16).computes().len(), 1);
+    }
+
+    #[test]
+    fn gemm_matches_fig4_structure() {
+        let f = gemm(32);
+        let s = f.find_compute("s").unwrap();
+        assert_eq!(s.iter_names(), ["k", "i", "j"]);
+        assert_eq!(s.reduction_dims(), vec![0]);
+        assert!(s.is_update());
+    }
+
+    #[test]
+    fn stencils_have_time_carried_deps() {
+        let f = jacobi1d(8, 32);
+        let g = pom_graph::DepGraph::build(&f);
+        let n = g.node("s").unwrap();
+        assert_eq!(n.analysis.carried_by_level[0], Some(1));
+    }
+
+    #[test]
+    fn seidel_is_carried_in_both_dims() {
+        let f = seidel(16);
+        let g = pom_graph::DepGraph::build(&f);
+        let n = g.node("s").unwrap();
+        assert!(n.analysis.carried_by_level.iter().all(Option::is_some));
+    }
+}
+
+/// `ATAX`: `y = Aᵀ(Ax)` — two chained matrix-vector products, the second
+/// through the transposed access `A[i][j]` indexed as `A(i, j)` with roles
+/// swapped.
+pub fn atax(n: usize) -> Function {
+    let n_ = n as i64;
+    let mut f = Function::new("atax");
+    let i = f.var("i", 0, n_);
+    let j = f.var("j", 0, n_);
+    let a = f.placeholder("A", &[n, n], DataType::F32);
+    let x = f.placeholder("x", &[n], DataType::F32);
+    let tmp = f.placeholder("tmp", &[n], DataType::F32);
+    let y = f.placeholder("y", &[n], DataType::F32);
+    f.compute(
+        "S1",
+        &[i.clone(), j.clone()],
+        tmp.at(&[&i]) + a.at(&[&i, &j]) * x.at(&[&j]),
+        tmp.access(&[&i]),
+    );
+    // y[j] += A[i][j] * tmp[i]: the transposed product.
+    f.compute(
+        "S2",
+        &[i.clone(), j.clone()],
+        y.at(&[&j]) + a.at(&[&i, &j]) * tmp.at(&[&i]),
+        y.access(&[&j]),
+    );
+    f
+}
+
+/// `MVT`: two independent matrix-vector products `x1 += A·y1`,
+/// `x2 += Aᵀ·y2` — fusable like BICG but with disjoint outputs.
+pub fn mvt(n: usize) -> Function {
+    let n_ = n as i64;
+    let mut f = Function::new("mvt");
+    let i = f.var("i", 0, n_);
+    let j = f.var("j", 0, n_);
+    let a = f.placeholder("A", &[n, n], DataType::F32);
+    let x1 = f.placeholder("x1", &[n], DataType::F32);
+    let x2 = f.placeholder("x2", &[n], DataType::F32);
+    let y1 = f.placeholder("y1", &[n], DataType::F32);
+    let y2 = f.placeholder("y2", &[n], DataType::F32);
+    f.compute(
+        "S1",
+        &[i.clone(), j.clone()],
+        x1.at(&[&i]) + a.at(&[&i, &j]) * y1.at(&[&j]),
+        x1.access(&[&i]),
+    );
+    f.compute(
+        "S2",
+        &[i.clone(), j.clone()],
+        x2.at(&[&i]) + a.at(&[&j, &i]) * y2.at(&[&j]),
+        x2.access(&[&i]),
+    );
+    f
+}
+
+/// `DOITGEN`: the multi-resolution analysis kernel — a 4-level nest with
+/// the reduction innermost as written in PolyBench.
+pub fn doitgen(nr: usize, nq: usize, np: usize) -> Function {
+    let mut f = Function::new("doitgen");
+    let r = f.var("r", 0, nr as i64);
+    let q = f.var("q", 0, nq as i64);
+    let p = f.var("p", 0, np as i64);
+    let s = f.var("s", 0, np as i64);
+    let a = f.placeholder("A", &[nr, nq, np], DataType::F32);
+    let c4 = f.placeholder("C4", &[np, np], DataType::F32);
+    let sum = f.placeholder("sum", &[nr, nq, np], DataType::F32);
+    f.compute(
+        "S1",
+        &[r.clone(), q.clone(), p.clone(), s.clone()],
+        sum.at(&[&r.expr(), &q.expr(), &p.expr()])
+            + a.at(&[r.expr(), q.expr(), s.expr()]) * c4.at(&[s.expr(), p.expr()]),
+        sum.access(&[&r.expr(), &q.expr(), &p.expr()]),
+    );
+    f
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use pom_dse::{auto_dse, baselines, CompileOptions};
+
+    #[test]
+    fn atax_mvt_doitgen_build_and_optimize() {
+        let opts = CompileOptions::default();
+        for f in [atax(64), mvt(64), doitgen(8, 8, 8)] {
+            let base = baselines::baseline_compiled(&f, &opts);
+            let r = auto_dse(&f, &opts);
+            let s = r.compiled.qor.speedup_over(&base.qor);
+            assert!(s > 5.0, "{}: speedup {s}", f.name());
+            assert!(r.compiled.qor.resources.dsp <= 220, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn doitgen_reduction_moves_outward() {
+        // Written (r, q, p, s) with reduction s innermost; stage 1 must
+        // reorder so the carried level is no longer below a parallel one.
+        let f = doitgen(8, 8, 8);
+        let g = pom_dse::dependence_aware_transform(&f, 8);
+        assert!(g
+            .schedule()
+            .iter()
+            .any(|p| matches!(p, pom_dsl::Primitive::Interchange { .. })));
+    }
+
+    #[test]
+    fn atax_semantics_preserved_through_dse() {
+        use pom_dsl::{reference_execute, MemoryState};
+        let f = atax(10);
+        let opts = CompileOptions::default();
+        let r = auto_dse(&f, &opts);
+        let compiled = pom_dse::compile(&r.function, &opts);
+        let mut m1 = MemoryState::for_function_seeded(&f, 3);
+        reference_execute(&f, &mut m1);
+        let mut m2 = MemoryState::for_function_seeded(&f, 3);
+        pom_ir::execute_func(&compiled.affine, &mut m2);
+        for arr in ["tmp", "y"] {
+            assert_eq!(m1.array(arr).unwrap().data(), m2.array(arr).unwrap().data());
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! # pom-bench — benchmark kernels and the experiment harness
+//!
+//! Everything needed to regenerate the paper's evaluation (Section VII):
+//! the benchmark suites expressed in the POM DSL ([`kernels`]) and one
+//! harness module per table/figure ([`experiments`]). Each experiment is
+//! exposed both as a binary (`cargo run -p pom-bench --bin tab03_typical`)
+//! and as a Criterion bench target (`cargo bench -p pom-bench`).
+
+pub mod experiments;
+pub mod kernels;

@@ -1,0 +1,158 @@
+//! # POM — an optimizing framework for FPGA-based accelerator generation
+//!
+//! A from-scratch Rust reproduction of **"An Optimizing Framework on MLIR
+//! for Efficient FPGA-based Accelerator Generation"** (HPCA 2024). POM
+//! compiles a decoupled DSL (algorithm + schedule) through three explicit
+//! IR layers — *dependence graph IR*, *polyhedral IR*, and an *annotated
+//! affine dialect* — into synthesizable HLS C, with an automatic
+//! two-stage design-space-exploration engine.
+//!
+//! The crate re-exports the whole workspace and offers [`Pom`], the
+//! end-to-end driver:
+//!
+//! ```
+//! use pom::{DataType, Function, Pom};
+//!
+//! // Fig. 4: matrix multiplication in the POM DSL.
+//! let mut f = Function::new("gemm");
+//! let (k, i, j) = (f.var("k", 0, 32), f.var("i", 0, 32), f.var("j", 0, 32));
+//! let a = f.placeholder("A", &[32, 32], DataType::F32);
+//! let b = f.placeholder("B", &[32, 32], DataType::F32);
+//! let c = f.placeholder("C", &[32, 32], DataType::F32);
+//! f.compute(
+//!     "s",
+//!     &[k.clone(), i.clone(), j.clone()],
+//!     a.at(&[&i, &j]) + b.at(&[&i, &k]) * c.at(&[&k, &j]),
+//!     a.access(&[&i, &j]),
+//! );
+//! f.auto_dse();
+//!
+//! let pom = Pom::new();
+//! let result = pom.codegen(&f);
+//! assert!(result.hls_c.contains("#pragma HLS pipeline"));
+//! assert!(result.speedup_over_baseline > 10.0);
+//! ```
+//!
+//! ## Layer map (paper Fig. 3/7)
+//!
+//! | Layer | Crate | Purpose |
+//! |---|---|---|
+//! | POM DSL | [`pom_dsl`] | vars, placeholders, computes, Table II primitives |
+//! | Dependence graph IR | [`pom_graph`] | coarse/fine-grained dependence analysis |
+//! | Polyhedral IR | [`pom_poly`] | integer sets/maps, transformations, AST build |
+//! | Affine dialect + HLS attrs | [`pom_ir`] | loops/ops with pragma attributes |
+//! | HLS backend | [`pom_hls`] | HLS C emission + QoR estimation |
+//! | DSE engine | [`pom_dse`] | two-stage automatic scheduling + baselines |
+
+pub use pom_dse as dse;
+pub use pom_dsl as dsl;
+pub use pom_graph as graph;
+pub use pom_hls as hls;
+pub use pom_ir as ir;
+pub use pom_poly as poly;
+
+pub use pom_dse::{
+    auto_dse, auto_dse_with, baselines, compile, CompileOptions, Compiled, DseConfig, DseResult,
+    GroupConfig,
+};
+pub use pom_dsl::{
+    reference_execute, ArrayData, Compute, DataType, Expr, Function, MemoryState,
+    PartitionStyle, Placeholder, Primitive, Var,
+};
+pub use pom_graph::DepGraph;
+pub use pom_hls::{
+    emit_hls_c, emit_testbench, CostModel, DeviceSpec, QoR, ResourceUsage, SynthesisReport,
+};
+pub use pom_ir::{execute_func, AffineFunc, PassManager};
+
+/// The end-to-end POM driver: analysis, scheduling (user-specified or
+/// automatic), lowering, and HLS C generation.
+#[derive(Clone, Debug, Default)]
+pub struct Pom {
+    /// Compilation options: cost model, sharing policy, target device.
+    pub options: CompileOptions,
+}
+
+/// The artefacts of a full `codegen()` run.
+#[derive(Clone, Debug)]
+pub struct CodegenResult {
+    /// The scheduled function (with DSE-chosen primitives when auto).
+    pub function: Function,
+    /// The compiled design: affine IR, QoR, dependence summary.
+    pub compiled: Compiled,
+    /// The synthesizable HLS C.
+    pub hls_c: String,
+    /// Speedup over the unoptimized baseline (cycle ratio).
+    pub speedup_over_baseline: f64,
+    /// DSE wall-clock time (zero for user-specified schedules).
+    pub dse_time: std::time::Duration,
+}
+
+impl Pom {
+    /// A driver with default options (XC7Z020, 32-bit float cost model,
+    /// resource reuse).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A driver targeting a specific device.
+    pub fn with_device(device: DeviceSpec) -> Self {
+        Pom {
+            options: CompileOptions {
+                device,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Builds the dependence graph IR of a function (layer 1).
+    pub fn analyze(&self, f: &Function) -> DepGraph {
+        DepGraph::build(f)
+    }
+
+    /// Compiles a function with its *recorded* schedule (no DSE).
+    pub fn compile(&self, f: &Function) -> Compiled {
+        pom_dse::compile(f, &self.options)
+    }
+
+    /// Generates a Vitis-style synthesis report for the compiled design.
+    pub fn report(&self, f: &Function) -> SynthesisReport {
+        let compiled = self.compile(f);
+        SynthesisReport::generate(
+            &compiled.affine,
+            &compiled.deps,
+            &self.options.model,
+            &self.options.device,
+            self.options.sharing,
+        )
+    }
+
+    /// Emits a self-checking C simulation testbench for the compiled
+    /// kernel (companion to [`CodegenResult::hls_c`]).
+    pub fn testbench(&self, f: &Function, seed: u64) -> String {
+        let compiled = self.compile(f);
+        emit_testbench(&compiled.affine, seed)
+    }
+
+    /// The paper's `codegen()`: runs auto-DSE when the schedule asks for
+    /// it (`f.auto_DSE()`), otherwise replays the user schedule; emits
+    /// HLS C and reports the speedup over the unoptimized baseline.
+    pub fn codegen(&self, f: &Function) -> CodegenResult {
+        let baseline = pom_dse::baselines::baseline_compiled(f, &self.options);
+        let (function, compiled, dse_time) = if f.wants_auto_dse() {
+            let r = pom_dse::auto_dse(f, &self.options);
+            (r.function, r.compiled, r.dse_time)
+        } else {
+            (f.clone(), pom_dse::compile(f, &self.options), Default::default())
+        };
+        let hls_c = compiled.hls_c();
+        let speedup = compiled.qor.speedup_over(&baseline.qor);
+        CodegenResult {
+            function,
+            compiled,
+            hls_c,
+            speedup_over_baseline: speedup,
+            dse_time,
+        }
+    }
+}

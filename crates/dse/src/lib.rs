@@ -1,0 +1,28 @@
+//! # pom-dse — schedule application, the two-stage DSE engine, and
+//! baseline strategies (Section VI of the paper)
+//!
+//! * [`mod@compile`] replays a recorded DSL schedule through all three IR
+//!   layers — dependence graph IR → polyhedral IR → annotated affine
+//!   dialect — and returns the lowered function with its QoR estimate.
+//! * [`stage1`] is *dependence-aware code transformation*: per-node
+//!   interchange/skew moves guided by iteratively re-checked dependence
+//!   analysis, plus conservative fusion of independent compatible nests
+//!   (Fig. 10).
+//! * [`stage2`] is *bottleneck-oriented code optimization*: latency-ordered
+//!   critical paths, parallelism escalation of the bottleneck node, a
+//!   resource-constraint exit mechanism, and an optimization list.
+//! * [`baselines`] re-implements the comparison frameworks' *strategies*
+//!   on the same substrate: unoptimized, Pluto-like, POLSCA-like, and
+//!   ScaleHLS-like (see DESIGN.md for the substitution argument).
+
+pub mod baselines;
+pub mod compile;
+pub mod dse;
+pub mod stage1;
+pub mod stage2;
+
+pub use baselines::{pluto_like, polsca_like, scalehls_like, unoptimized, BaselineResult};
+pub use compile::{compile, CompileOptions, Compiled};
+pub use dse::{auto_dse, auto_dse_with, DseResult};
+pub use stage1::dependence_aware_transform;
+pub use stage2::{bottleneck_optimize, bottleneck_optimize_with, DseConfig, GroupConfig};

@@ -1,0 +1,603 @@
+//! DSE stage 2: bottleneck-oriented code optimization (Section VI-B).
+//!
+//! After stage 1 has alleviated tight loop-carried dependences, this stage
+//! explores tiling + HLS optimizations: it estimates the latency of every
+//! node (group of fused computes), orders data paths by latency, and
+//! repeatedly escalates the *parallelism degree* of the bottleneck node on
+//! the critical path — splitting parallel loops, unrolling the intra-tile
+//! loops, pipelining the innermost tile loop, and cyclically partitioning
+//! the accessed arrays to feed the unrolled units. A node exits the
+//! optimization list when it reaches maximum parallelism or the next step
+//! would exceed the device's resources (the paper's exit mechanism).
+
+use crate::compile::{apply_schedule, compile, sub_function, CompileOptions};
+use pom_dsl::{Function, PartitionStyle};
+use pom_graph::DepGraph;
+use pom_poly::{DepKind, StmtPoly};
+use std::collections::{BTreeMap, HashMap};
+
+/// The tiling/unrolling configuration of one node (fusion group).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupConfig {
+    /// Compute names in the group (program order).
+    pub members: Vec<String>,
+    /// Loop dims of the group's representative statement, outermost first.
+    pub dims: Vec<String>,
+    /// Indices of levels that are parallel for *every* member.
+    pub parallel: Vec<usize>,
+    /// Trip count per level.
+    pub extents: Vec<i64>,
+    /// Current tile (unroll factor) per level; 1 = not unrolled.
+    pub tiles: Vec<i64>,
+}
+
+/// User-tunable DSE strategy parameters — the paper's "set of types and
+/// factors … determined before the search; users can specify suitable
+/// groups of strategies and parameters" (Section VI-B).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DseConfig {
+    /// Bound on the iterative dependence-recheck loop of stage 1
+    /// ("terminated … if the number of iterations has reached its
+    /// pre-defined bounds").
+    pub stage1_max_iters: usize,
+    /// Preferred per-level unroll cap before the ladder spills to other
+    /// levels.
+    pub level_cap: i64,
+    /// Hard cap on a node's parallelism degree (product of tiles).
+    pub max_parallelism: i64,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        DseConfig {
+            stage1_max_iters: 8,
+            level_cap: 16,
+            max_parallelism: 256,
+        }
+    }
+}
+
+impl GroupConfig {
+    /// The parallelism degree: product of tiles (the paper divides this by
+    /// the achieved II to report *parallelism*).
+    pub fn parallelism(&self) -> i64 {
+        self.tiles.iter().product()
+    }
+
+    /// Escalates the parallelism degree one step: doubles the tile of the
+    /// innermost parallel level below the per-level preference cap, then
+    /// of any parallel level below its extent. Returns false when the
+    /// configured maximum parallelism is reached.
+    pub fn escalate(&mut self) -> bool {
+        self.escalate_with(&DseConfig::default())
+    }
+
+    /// [`GroupConfig::escalate`] under explicit strategy parameters.
+    pub fn escalate_with(&mut self, cfg: &DseConfig) -> bool {
+        if self.parallelism() * 2 > cfg.max_parallelism {
+            return false;
+        }
+        for &l in self.parallel.iter().rev() {
+            if self.tiles[l] * 2 <= self.extents[l].min(cfg.level_cap) {
+                self.tiles[l] *= 2;
+                return true;
+            }
+        }
+        for &l in self.parallel.iter().rev() {
+            if self.tiles[l] * 2 <= self.extents[l] {
+                self.tiles[l] *= 2;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// All single-step escalations (doubling one parallel level within its
+    /// extent), innermost first — used by greedy searches that want to try
+    /// alternatives when the preferred step regresses.
+    pub fn escalation_candidates(&self) -> Vec<GroupConfig> {
+        self.escalation_candidates_with(&DseConfig::default())
+    }
+
+    /// [`GroupConfig::escalation_candidates`] under explicit parameters.
+    pub fn escalation_candidates_with(&self, cfg: &DseConfig) -> Vec<GroupConfig> {
+        let mut out = Vec::new();
+        if self.parallelism() * 2 > cfg.max_parallelism {
+            return out;
+        }
+        for &l in self.parallel.iter().rev() {
+            if self.tiles[l] * 2 <= self.extents[l] {
+                let mut c = self.clone();
+                c.tiles[l] *= 2;
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+/// Derives the groups (fusion classes) of a stage-1-transformed function.
+pub fn plan_groups(f: &Function) -> Vec<GroupConfig> {
+    let stmts = apply_schedule(f);
+    // Group statements by their outermost static (fused statements share it).
+    let mut by_order: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
+    for (i, s) in stmts.iter().enumerate() {
+        by_order.entry(s.statics()[0]).or_default().push(i);
+    }
+    let mut groups = Vec::new();
+    for (_, members) in by_order {
+        let rep = &stmts[members[0]];
+        let dims = rep.dims().to_vec();
+        // Average extents with outer dims fixed at their midpoints, which
+        // handles the non-rectangular domains produced by skewing.
+        let mut env: HashMap<String, i64> = HashMap::new();
+        let mut extents: Vec<i64> = Vec::with_capacity(dims.len());
+        for d in &dims {
+            let (lb, ub) = extent_range(rep, d, &env);
+            env.insert(d.clone(), (lb + ub) / 2);
+            extents.push((ub - lb + 1).max(1));
+        }
+        // Parallel levels: parallel in every member.
+        let mut parallel: Vec<usize> = (0..dims.len()).collect();
+        for &m in &members {
+            let carried = carried_levels(f, &stmts, m);
+            parallel.retain(|&l| carried.get(l).map(|c| c.is_none()).unwrap_or(false));
+        }
+        groups.push(GroupConfig {
+            members: members
+                .iter()
+                .map(|&m| f.computes()[m].name().to_string())
+                .collect(),
+            tiles: vec![1; dims.len()],
+            dims,
+            parallel,
+            extents,
+        });
+    }
+    groups
+}
+
+fn extent_range(s: &StmtPoly, dim: &str, env: &HashMap<String, i64>) -> (i64, i64) {
+    let (lbs, ubs) = s.domain().bounds_of(dim);
+    let lb = lbs
+        .iter()
+        .map(|(e, d)| -((-e.eval_partial(env)).div_euclid(*d)))
+        .max()
+        .unwrap_or(0);
+    let ub = ubs
+        .iter()
+        .map(|(e, d)| e.eval_partial(env).div_euclid(*d))
+        .min()
+        .unwrap_or(lb);
+    (lb, ub.max(lb))
+}
+
+fn carried_levels(f: &Function, stmts: &[StmtPoly], idx: usize) -> Vec<Option<i64>> {
+    let c = &f.computes()[idx];
+    let s = &stmts[idx];
+    let store = c.store();
+    let mut carried = vec![None; s.dims().len()];
+    let mut deps = Vec::new();
+    for l in c.loads() {
+        if l.array == store.array {
+            deps.extend(s.analyze_dependence(store, l, DepKind::Flow));
+            deps.extend(s.analyze_dependence(store, store, DepKind::Output));
+        }
+    }
+    for d in deps {
+        if let (Some(level), Some(v)) = (d.carried_level, &d.distance) {
+            let dist = v.0[level];
+            carried[level] = Some(match carried[level] {
+                Some(cur) if cur <= dist => cur,
+                _ => dist,
+            });
+        } else if let Some(level) = d.carried_level {
+            carried[level] = Some(1);
+        }
+    }
+    carried
+}
+
+/// Materializes stage-2 primitives for the given group configurations on
+/// top of the stage-1-transformed function: splits + reorders, pipeline of
+/// the innermost tile loop, full unroll of intra-tile loops, and cyclic
+/// array partitioning matched to the unroll factors.
+pub fn schedule_for(base: &Function, groups: &[GroupConfig]) -> Function {
+    let mut g = base.clone();
+    let mut partition_factors: BTreeMap<String, Vec<i64>> = BTreeMap::new();
+    for p in g.placeholders() {
+        partition_factors.insert(p.name().to_string(), vec![1; p.shape().len()]);
+    }
+
+    for (gi, group) in groups.iter().enumerate() {
+        // Names: outer part "{dim}_g{gi}o", inner "{dim}_g{gi}u" — the
+        // group index keeps names unique when nests share iterator names.
+        let outer_name = |d: &str| format!("{d}_g{gi}o");
+        let inner_name = |d: &str| format!("{d}_g{gi}u");
+        let tiled: Vec<usize> = (0..group.dims.len())
+            .filter(|&l| group.tiles[l] > 1)
+            .collect();
+        // Loop order: carried/untiled-non-parallel dims stay outermost,
+        // then the tile loops, then untiled *parallel* dims (so the
+        // pipelined loop is a full-length parallel loop rather than a
+        // short tile loop whose pipeline would flush constantly), then
+        // the unrolled intra-tile loops.
+        let mut final_order: Vec<String> = Vec::new();
+        for (l, d) in group.dims.iter().enumerate() {
+            if !tiled.contains(&l) && !group.parallel.contains(&l) {
+                final_order.push(d.clone());
+            }
+        }
+        for &l in &tiled {
+            final_order.push(outer_name(&group.dims[l]));
+        }
+        for (l, d) in group.dims.iter().enumerate() {
+            if !tiled.contains(&l) && group.parallel.contains(&l) {
+                final_order.push(d.clone());
+            }
+        }
+        for &l in &tiled {
+            final_order.push(inner_name(&group.dims[l]));
+        }
+
+        for member in &group.members {
+            // Splits.
+            for &l in &tiled {
+                let d = &group.dims[l];
+                g.split(member, d, group.tiles[l], &outer_name(d), &inner_name(d));
+            }
+            // Reorder to final order by recording bubble-sort interchanges
+            // over the simulated current order.
+            let mut cur: Vec<String> = Vec::new();
+            for (l, d) in group.dims.iter().enumerate() {
+                if tiled.contains(&l) {
+                    cur.push(outer_name(d));
+                    cur.push(inner_name(d));
+                } else {
+                    cur.push(d.clone());
+                }
+            }
+            for target_pos in 0..final_order.len() {
+                let from_pos = cur
+                    .iter()
+                    .position(|x| *x == final_order[target_pos])
+                    .expect("name tracked");
+                let mut p = from_pos;
+                while p > target_pos {
+                    g.interchange(member, &cur[p - 1].clone(), &cur[p].clone());
+                    cur.swap(p - 1, p);
+                    p -= 1;
+                }
+            }
+        }
+
+        // Pipeline the innermost non-unrolled loop; unroll intra-tile loops.
+        let first = &group.members[0];
+        let pipeline_iv = final_order[group.dims.len() - 1].clone();
+        g.pipeline(first, &pipeline_iv, 1);
+        for &l in &tiled {
+            g.unroll(first, &inner_name(&group.dims[l]), group.tiles[l]);
+        }
+
+        // Partition factors: for every member access, each array dimension
+        // gets the product of tiles of the levels indexing it.
+        let stmts = apply_schedule(&g);
+        let names: Vec<&str> = g.computes().iter().map(|c| c.name()).collect();
+        for member in &group.members {
+            let idx = names.iter().position(|n| n == member).expect("member");
+            let c = &g.computes()[idx];
+            let s = &stmts[idx];
+            let mut accesses = vec![c.store().clone()];
+            accesses.extend(c.loads().iter().map(|l| (*l).clone()));
+            for acc in &accesses {
+                let cur_acc = s.access_to_current(acc);
+                let Some(factors) = partition_factors.get_mut(&acc.array) else {
+                    continue;
+                };
+                let shape = g
+                    .find_placeholder(&acc.array)
+                    .expect("declared array")
+                    .shape()
+                    .to_vec();
+                for (d, e) in cur_acc.indices.iter().enumerate() {
+                    let mut f = 1i64;
+                    for (l, dim) in group.dims.iter().enumerate() {
+                        if group.tiles[l] > 1 && e.uses(&inner_name(dim)) {
+                            f *= group.tiles[l];
+                        }
+                    }
+                    let f = f.min(shape[d] as i64).max(1);
+                    factors[d] = factors[d].max(f);
+                }
+            }
+        }
+    }
+
+    for (array, factors) in partition_factors {
+        if factors.iter().any(|&f| f > 1) {
+            g.partition(&array, &factors, PartitionStyle::Cyclic);
+        }
+    }
+    g
+}
+
+/// The bottleneck-oriented optimization loop. Returns the fully scheduled
+/// function and the final group configurations.
+///
+/// Latency and resources are tracked per group (each group compiled as a
+/// sub-function) so every escalation step costs one incremental compile;
+/// the total latency is the sum over groups (sequential execution) and
+/// resources compose per the sharing policy (`max` under reuse, `+` under
+/// dataflow).
+pub fn bottleneck_optimize(
+    stage1_fn: &Function,
+    opts: &CompileOptions,
+) -> (Function, Vec<GroupConfig>) {
+    bottleneck_optimize_with(stage1_fn, opts, &DseConfig::default())
+}
+
+/// [`bottleneck_optimize`] under explicit strategy parameters.
+pub fn bottleneck_optimize_with(
+    stage1_fn: &Function,
+    opts: &CompileOptions,
+    cfg: &DseConfig,
+) -> (Function, Vec<GroupConfig>) {
+    let mut groups = plan_groups(stage1_fn);
+    let mut stats: Vec<(u64, pom_hls::ResourceUsage)> = groups
+        .iter()
+        .map(|g| group_compile(stage1_fn, g, opts))
+        .collect();
+
+    // Data paths over groups, from the dependence graph.
+    let graph = DepGraph::build(stage1_fn);
+    let compute_group: HashMap<String, usize> = groups
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, g)| g.members.iter().map(move |m| (m.clone(), gi)))
+        .collect();
+    let group_paths: Vec<Vec<usize>> = graph
+        .data_paths()
+        .iter()
+        .map(|p| {
+            let mut gp: Vec<usize> = p
+                .iter()
+                .map(|&n| compute_group[&graph.nodes()[n].name])
+                .collect();
+            gp.dedup();
+            gp
+        })
+        .collect();
+
+    let compose = |stats: &[(u64, pom_hls::ResourceUsage)]| {
+        let mut acc = pom_hls::ResourceUsage::zero();
+        for (_, r) in stats {
+            acc = match opts.sharing {
+                pom_hls::estimate::Sharing::Reuse => acc.max(r),
+                pom_hls::estimate::Sharing::Dataflow => acc.plus(r),
+            };
+        }
+        acc
+    };
+
+    let mut list: Vec<usize> = (0..groups.len()).collect();
+    while !list.is_empty() {
+        // Critical path by latency; bottleneck = max-latency listed group.
+        let bottleneck = {
+            let critical = group_paths
+                .iter()
+                .max_by_key(|p| p.iter().map(|&g| stats[g].0).sum::<u64>());
+            let on_path = critical.and_then(|p| {
+                p.iter()
+                    .copied()
+                    .filter(|g| list.contains(g))
+                    .max_by_key(|&g| stats[g].0)
+            });
+            match on_path.or_else(|| list.iter().copied().max_by_key(|&g| stats[g].0)) {
+                Some(b) => b,
+                None => break,
+            }
+        };
+
+        let mut cand = groups[bottleneck].clone();
+        if !cand.escalate_with(cfg) {
+            list.retain(|&g| g != bottleneck);
+            continue;
+        }
+        let (l2, r2) = group_compile(stage1_fn, &cand, opts);
+        let mut cand_stats = stats.clone();
+        cand_stats[bottleneck] = (l2, r2);
+        let total = compose(&cand_stats);
+        let fits =
+            total.dsp <= opts.device.dsp && total.ff <= opts.device.ff && total.lut <= opts.device.lut;
+        if fits && l2 <= stats[bottleneck].0 {
+            groups[bottleneck] = cand;
+            stats[bottleneck] = (l2, r2);
+        } else {
+            list.retain(|&g| g != bottleneck);
+        }
+    }
+
+    // Final repair: the incremental per-group check cannot see globally
+    // accumulated overheads (every array's partition muxing exists once in
+    // the full design). Re-estimate the complete function and, while it
+    // exceeds the device, walk back the most parallel group one step.
+    loop {
+        let full = compile(&schedule_for(stage1_fn, &groups), opts).qor;
+        let fits = full.resources.dsp <= opts.device.dsp
+            && full.resources.ff <= opts.device.ff
+            && full.resources.lut <= opts.device.lut;
+        if fits {
+            break;
+        }
+        let Some(victim) = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.parallelism() > 1)
+            .max_by_key(|(_, g)| g.parallelism())
+            .map(|(i, _)| i)
+        else {
+            break; // nothing left to shrink
+        };
+        let g = &mut groups[victim];
+        let widest = (0..g.tiles.len())
+            .max_by_key(|&l| g.tiles[l])
+            .expect("non-empty tiles");
+        g.tiles[widest] = (g.tiles[widest] / 2).max(1);
+    }
+    (schedule_for(stage1_fn, &groups), groups)
+}
+
+/// Compiles one group as a sub-function with its configuration applied.
+pub fn group_compile(
+    base: &Function,
+    group: &GroupConfig,
+    opts: &CompileOptions,
+) -> (u64, pom_hls::ResourceUsage) {
+    let members: Vec<&str> = group.members.iter().map(String::as_str).collect();
+    let sub = sub_function(base, &members);
+    let scheduled = schedule_for(&sub, std::slice::from_ref(group));
+    let q = compile(&scheduled, opts).qor;
+    (q.latency, q.resources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage1::dependence_aware_transform;
+    use pom_dsl::DataType;
+
+    fn gemm(n: usize) -> Function {
+        let mut f = Function::new("gemm");
+        let k = f.var("k", 0, n as i64);
+        let i = f.var("i", 0, n as i64);
+        let j = f.var("j", 0, n as i64);
+        let a = f.placeholder("A", &[n, n], DataType::F32);
+        let b = f.placeholder("B", &[n, n], DataType::F32);
+        let c = f.placeholder("C", &[n, n], DataType::F32);
+        f.compute(
+            "s",
+            &[k.clone(), i.clone(), j.clone()],
+            a.at(&[&i, &j]) + b.at(&[&i, &k]) * c.at(&[&k, &j]),
+            a.access(&[&i, &j]),
+        );
+        f
+    }
+
+    #[test]
+    fn plan_groups_identifies_parallel_levels() {
+        let f = gemm(64);
+        let groups = plan_groups(&f);
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(g.dims, vec!["k", "i", "j"]);
+        assert_eq!(g.parallel, vec![1, 2], "i and j are parallel, k carried");
+        assert_eq!(g.extents, vec![64, 64, 64]);
+    }
+
+    #[test]
+    fn escalation_ladder_prefers_innermost() {
+        let mut g = GroupConfig {
+            members: vec!["s".into()],
+            dims: vec!["k".into(), "i".into(), "j".into()],
+            parallel: vec![1, 2],
+            extents: vec![64, 64, 64],
+            tiles: vec![1, 1, 1],
+        };
+        for _ in 0..4 {
+            assert!(g.escalate());
+        }
+        assert_eq!(g.tiles, vec![1, 1, 16], "j first, up to 16");
+        g.escalate();
+        assert_eq!(g.tiles, vec![1, 2, 16], "then i");
+    }
+
+    #[test]
+    fn schedule_for_emits_expected_primitives() {
+        let f = gemm(64);
+        let mut groups = plan_groups(&f);
+        groups[0].tiles = vec![1, 2, 16];
+        let g = schedule_for(&f, &groups);
+        let s: Vec<String> = g.schedule().iter().map(|p| p.to_string()).collect();
+        let text = s.join("\n");
+        assert!(text.contains("s.split(i, 2, i_g0o, i_g0u)"), "{text}");
+        assert!(text.contains("s.split(j, 16, j_g0o, j_g0u)"), "{text}");
+        assert!(text.contains("s.pipeline(j_g0o, 1)"), "{text}");
+        assert!(text.contains("s.unroll(j_g0u, 16)"), "{text}");
+        // A[i][j] partitioned (2, 16); B[i][k] partitioned (2, 1);
+        // C[k][j] partitioned (1, 16).
+        assert!(text.contains("A.partition({2, 16}"), "{text}");
+        assert!(text.contains("B.partition({2, 1}"), "{text}");
+        assert!(text.contains("C.partition({1, 16}"), "{text}");
+    }
+
+    #[test]
+    fn gemm_dse_reaches_paper_like_design() {
+        // At N = 64 the DSP budget (220) caps the escalation at 32 copies
+        // (32 x 5 DSP = 160), like the paper's [1, 2, 16] with
+        // parallelism 32.
+        let f = gemm(64);
+        let stage1 = dependence_aware_transform(&f, 8);
+        let opts = CompileOptions::default();
+        let (optimized, groups) = bottleneck_optimize(&stage1, &opts);
+        let para: i64 = groups[0].parallelism();
+        assert_eq!(para, 32, "tiles {:?}", groups[0].tiles);
+        let q = compile(&optimized, &opts).qor;
+        assert!(q.resources.dsp <= 220);
+        assert!(q.resources.dsp >= 120, "got {}", q.resources.dsp);
+        // Pipelined loop achieves a small II.
+        assert!(!q.loops.is_empty());
+        assert!(q.loops[0].achieved_ii <= 2, "II = {}", q.loops[0].achieved_ii);
+        // And it crushes the baseline.
+        let base = compile(&f, &opts).qor;
+        assert!(q.speedup_over(&base) > 50.0, "speedup {}", q.speedup_over(&base));
+    }
+
+    #[test]
+    fn dse_respects_tighter_resource_constraints() {
+        let f = gemm(64);
+        let stage1 = dependence_aware_transform(&f, 8);
+        let mut opts = CompileOptions::default();
+        opts.device = opts.device.scaled_to(50); // 110 DSPs
+        let (optimized, groups) = bottleneck_optimize(&stage1, &opts);
+        let q = compile(&optimized, &opts).qor;
+        assert!(q.resources.dsp <= 110);
+        assert!(groups[0].parallelism() <= 16);
+    }
+
+    #[test]
+    fn multi_nest_balanced_optimization() {
+        // Two chained GEMM-like nests (2MM shape): the bottleneck switcher
+        // must optimize both, not spend everything on the first.
+        let n = 32usize;
+        let mut f = Function::new("twomm");
+        let k = f.var("k", 0, n as i64);
+        let i = f.var("i", 0, n as i64);
+        let j = f.var("j", 0, n as i64);
+        let a = f.placeholder("A", &[n, n], DataType::F32);
+        let b = f.placeholder("B", &[n, n], DataType::F32);
+        let tmp = f.placeholder("tmp", &[n, n], DataType::F32);
+        let d = f.placeholder("D", &[n, n], DataType::F32);
+        f.compute(
+            "mm1",
+            &[k.clone(), i.clone(), j.clone()],
+            tmp.at(&[&i, &j]) + a.at(&[&i, &k]) * b.at(&[&k, &j]),
+            tmp.access(&[&i, &j]),
+        );
+        f.compute(
+            "mm2",
+            &[k.clone(), i.clone(), j.clone()],
+            d.at(&[&i, &j]) + tmp.at(&[&i, &k]) * b.at(&[&k, &j]),
+            d.access(&[&i, &j]),
+        );
+        let stage1 = dependence_aware_transform(&f, 8);
+        let opts = CompileOptions::default();
+        let (_, groups) = bottleneck_optimize(&stage1, &opts);
+        assert_eq!(groups.len(), 2);
+        assert!(
+            groups[0].parallelism() >= 8 && groups[1].parallelism() >= 8,
+            "both nests optimized: {:?} / {:?}",
+            groups[0].tiles,
+            groups[1].tiles
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! The function container: computes, placeholders, and the recorded
+//! schedule.
+
+use crate::compute::Compute;
+use crate::expr::Expr;
+use crate::schedule::{PartitionStyle, Primitive};
+use crate::types::{DataType, Placeholder, Var};
+use pom_poly::AccessFn;
+use std::fmt;
+
+/// A POM function: the unit of compilation. Holds the algorithm
+/// specification (placeholders + computes) and the schedule (primitives).
+///
+/// Methods mirror the paper's DSL; see the crate-level example.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Function {
+    name: String,
+    placeholders: Vec<Placeholder>,
+    computes: Vec<Compute>,
+    schedule: Vec<Primitive>,
+}
+
+impl Function {
+    /// Creates an empty function.
+    pub fn new(name: impl Into<String>) -> Self {
+        Function {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// The function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares an iterator (`var i("i", 0, 32)`).
+    pub fn var(&mut self, name: &str, lb: i64, ub: i64) -> Var {
+        Var::new(name, lb, ub)
+    }
+
+    /// Declares an array placeholder.
+    pub fn placeholder(&mut self, name: &str, shape: &[usize], dtype: DataType) -> Placeholder {
+        let p = Placeholder::new(name, shape, dtype);
+        assert!(
+            self.find_placeholder(name).is_none(),
+            "placeholder {name} declared twice"
+        );
+        self.placeholders.push(p.clone());
+        p
+    }
+
+    /// Declares a compute (`compute s("s", {k,i,j}, expr, dest)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate compute names or references to undeclared
+    /// placeholders.
+    pub fn compute(&mut self, name: &str, iters: &[Var], body: Expr, store: AccessFn) {
+        assert!(
+            self.find_compute(name).is_none(),
+            "compute {name} declared twice"
+        );
+        let c = Compute::new(name, iters, body, store);
+        for l in c.loads() {
+            assert!(
+                self.find_placeholder(&l.array).is_some(),
+                "compute {name} loads undeclared array {}",
+                l.array
+            );
+        }
+        assert!(
+            self.find_placeholder(&c.store().array).is_some(),
+            "compute {name} stores to undeclared array {}",
+            c.store().array
+        );
+        self.computes.push(c);
+    }
+
+    /// All placeholders, in declaration order.
+    pub fn placeholders(&self) -> &[Placeholder] {
+        &self.placeholders
+    }
+
+    /// All computes, in declaration order.
+    pub fn computes(&self) -> &[Compute] {
+        &self.computes
+    }
+
+    /// The recorded schedule.
+    pub fn schedule(&self) -> &[Primitive] {
+        &self.schedule
+    }
+
+    /// Looks up a placeholder by name.
+    pub fn find_placeholder(&self, name: &str) -> Option<&Placeholder> {
+        self.placeholders.iter().find(|p| p.name() == name)
+    }
+
+    /// Looks up a compute by name.
+    pub fn find_compute(&self, name: &str) -> Option<&Compute> {
+        self.computes.iter().find(|c| c.name() == name)
+    }
+
+    /// Clears the recorded schedule (used when the DSE engine replaces a
+    /// user schedule with an explored one).
+    pub fn clear_schedule(&mut self) {
+        self.schedule.clear();
+    }
+
+    /// Records an arbitrary primitive.
+    pub fn record(&mut self, p: Primitive) -> &mut Self {
+        if let Some(stmt) = p.stmt() {
+            assert!(
+                self.find_compute(stmt).is_some(),
+                "schedule primitive targets unknown compute {stmt}"
+            );
+        }
+        if let Primitive::Partition { array, .. } = &p {
+            assert!(
+                self.find_placeholder(array).is_some(),
+                "partition targets unknown array {array}"
+            );
+        }
+        self.schedule.push(p);
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Table II primitives, in paper spelling
+    // ------------------------------------------------------------------
+
+    /// `s.interchange(i, j)`.
+    pub fn interchange(&mut self, stmt: &str, i: &str, j: &str) -> &mut Self {
+        self.record(Primitive::Interchange {
+            stmt: stmt.into(),
+            i: i.into(),
+            j: j.into(),
+        })
+    }
+
+    /// `s.split(i, t, i0, i1)`.
+    pub fn split(&mut self, stmt: &str, i: &str, factor: i64, i0: &str, i1: &str) -> &mut Self {
+        self.record(Primitive::Split {
+            stmt: stmt.into(),
+            i: i.into(),
+            factor,
+            i0: i0.into(),
+            i1: i1.into(),
+        })
+    }
+
+    /// `s.tile(i, j, t1, t2, i0, j0, i1, j1)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tile(
+        &mut self,
+        stmt: &str,
+        i: &str,
+        j: &str,
+        t1: i64,
+        t2: i64,
+        i0: &str,
+        j0: &str,
+        i1: &str,
+        j1: &str,
+    ) -> &mut Self {
+        self.record(Primitive::Tile {
+            stmt: stmt.into(),
+            i: i.into(),
+            j: j.into(),
+            t1,
+            t2,
+            i0: i0.into(),
+            j0: j0.into(),
+            i1: i1.into(),
+            j1: j1.into(),
+        })
+    }
+
+    /// `s.skew(i, j, f, i2, j2)`.
+    pub fn skew(
+        &mut self,
+        stmt: &str,
+        i: &str,
+        j: &str,
+        factor: i64,
+        i2: &str,
+        j2: &str,
+    ) -> &mut Self {
+        self.record(Primitive::Skew {
+            stmt: stmt.into(),
+            i: i.into(),
+            j: j.into(),
+            factor,
+            i2: i2.into(),
+            j2: j2.into(),
+        })
+    }
+
+    /// `s1.after(s2, j)`.
+    pub fn after(&mut self, stmt: &str, other: &str, level: &str) -> &mut Self {
+        self.record(Primitive::After {
+            stmt: stmt.into(),
+            other: other.into(),
+            level: Some(level.into()),
+        })
+    }
+
+    /// Schedules `stmt` entirely after `other` (no shared loops).
+    pub fn after_all(&mut self, stmt: &str, other: &str) -> &mut Self {
+        self.record(Primitive::After {
+            stmt: stmt.into(),
+            other: other.into(),
+            level: None,
+        })
+    }
+
+    /// `s.pipeline(i, t)`.
+    pub fn pipeline(&mut self, stmt: &str, loop_iv: &str, ii: i64) -> &mut Self {
+        self.record(Primitive::Pipeline {
+            stmt: stmt.into(),
+            loop_iv: loop_iv.into(),
+            ii,
+        })
+    }
+
+    /// `s.unroll(i, t)`.
+    pub fn unroll(&mut self, stmt: &str, loop_iv: &str, factor: i64) -> &mut Self {
+        self.record(Primitive::Unroll {
+            stmt: stmt.into(),
+            loop_iv: loop_iv.into(),
+            factor,
+        })
+    }
+
+    /// `A.partition({t...}, style)`.
+    pub fn partition(&mut self, array: &str, factors: &[i64], style: PartitionStyle) -> &mut Self {
+        self.record(Primitive::Partition {
+            array: array.into(),
+            factors: factors.to_vec(),
+            style,
+        })
+    }
+
+    /// `f.auto_DSE()` — delegate scheduling to the DSE engine.
+    pub fn auto_dse(&mut self) -> &mut Self {
+        self.record(Primitive::AutoDse)
+    }
+
+    /// True when the schedule requests automatic DSE.
+    pub fn wants_auto_dse(&self) -> bool {
+        self.schedule
+            .iter()
+            .any(|p| matches!(p, Primitive::AutoDse))
+    }
+
+    /// Number of DSL statements used to describe this function — the LoC
+    /// metric of Fig. 15 (declarations + computes + schedule primitives).
+    pub fn dsl_loc(&self) -> usize {
+        // vars are implicit in computes; count placeholders, computes,
+        // schedule primitives, plus the codegen call.
+        self.placeholders.len() + self.computes.len() + self.schedule.len() + 1
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "function {} {{", self.name)?;
+        for p in &self.placeholders {
+            writeln!(f, "  {p};")?;
+        }
+        for c in &self.computes {
+            writeln!(f, "  {c};")?;
+        }
+        for s in &self.schedule {
+            writeln!(f, "  {s};")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm() -> Function {
+        let mut f = Function::new("gemm");
+        let i = f.var("i", 0, 32);
+        let j = f.var("j", 0, 32);
+        let k = f.var("k", 0, 32);
+        let a = f.placeholder("A", &[32, 32], DataType::F32);
+        let b = f.placeholder("B", &[32, 32], DataType::F32);
+        let c = f.placeholder("C", &[32, 32], DataType::F32);
+        f.compute(
+            "s",
+            &[k.clone(), i.clone(), j.clone()],
+            a.at(&[&i, &j]) + b.at(&[&i, &k]) * c.at(&[&k, &j]),
+            a.access(&[&i, &j]),
+        );
+        f
+    }
+
+    #[test]
+    fn fig4_matmul_builds() {
+        let f = gemm();
+        assert_eq!(f.computes().len(), 1);
+        assert_eq!(f.placeholders().len(), 3);
+        assert!(f.find_compute("s").is_some());
+        assert!(f.find_placeholder("B").is_some());
+    }
+
+    #[test]
+    fn fig5_fig6_schedule_records() {
+        let mut f = gemm();
+        f.tile("s", "i", "j", 4, 4, "i0", "j0", "i1", "j1");
+        f.pipeline("s", "j0", 1);
+        f.unroll("s", "i1", 4);
+        f.unroll("s", "j1", 4);
+        f.partition("A", &[4, 4], PartitionStyle::Cyclic);
+        assert_eq!(f.schedule().len(), 5);
+        assert_eq!(
+            f.schedule().iter().filter(|p| p.is_loop_transformation()).count(),
+            1
+        );
+        assert_eq!(
+            f.schedule()
+                .iter()
+                .filter(|p| p.is_hardware_optimization())
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn auto_dse_flag() {
+        let mut f = gemm();
+        assert!(!f.wants_auto_dse());
+        f.auto_dse();
+        assert!(f.wants_auto_dse());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown compute")]
+    fn schedule_unknown_compute_panics() {
+        let mut f = gemm();
+        f.pipeline("nope", "i", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_compute_panics() {
+        let mut f = gemm();
+        let i = f.var("i", 0, 4);
+        let a = f.find_placeholder("A").unwrap().clone();
+        f.compute("s", &[i.clone()], a.at(&[&i, &i]), a.access(&[&i, &i]));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared array")]
+    fn undeclared_array_panics() {
+        let mut f = Function::new("f");
+        let i = f.var("i", 0, 4);
+        let ghost = Placeholder::new("G", &[4], DataType::F32);
+        f.compute("s", &[i.clone()], ghost.at(&[&i]), ghost.access(&[&i]));
+    }
+
+    #[test]
+    fn dsl_loc_counts() {
+        let mut f = gemm();
+        let base = f.dsl_loc(); // 3 placeholders + 1 compute + codegen
+        assert_eq!(base, 5);
+        f.auto_dse();
+        assert_eq!(f.dsl_loc(), 6);
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let mut f = gemm();
+        f.pipeline("s", "j", 1);
+        let text = f.to_string();
+        assert!(text.contains("function gemm"));
+        assert!(text.contains("compute s"));
+        assert!(text.contains("s.pipeline(j, 1)"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Data types, loop iterators, and array placeholders.
+
+use crate::expr::Expr;
+use pom_poly::{AccessFn, LinearExpr};
+use std::fmt;
+
+/// The data types POM supports for variables and arrays (Section IV-A):
+/// signed/unsigned integers of 8–64 bits and single/double floats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum DataType {
+    /// 8-bit signed integer.
+    I8,
+    /// 16-bit signed integer.
+    I16,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 8-bit unsigned integer.
+    U8,
+    /// 16-bit unsigned integer.
+    U16,
+    /// 32-bit unsigned integer.
+    U32,
+    /// 64-bit unsigned integer.
+    U64,
+    /// 32-bit single-precision float (the paper's evaluation type).
+    #[default]
+    F32,
+    /// 64-bit double-precision float.
+    F64,
+}
+
+impl DataType {
+    /// Bit width of the type.
+    pub fn bits(&self) -> u32 {
+        match self {
+            DataType::I8 | DataType::U8 => 8,
+            DataType::I16 | DataType::U16 => 16,
+            DataType::I32 | DataType::U32 | DataType::F32 => 32,
+            DataType::I64 | DataType::U64 | DataType::F64 => 64,
+        }
+    }
+
+    /// True for floating-point types.
+    pub fn is_float(&self) -> bool {
+        matches!(self, DataType::F32 | DataType::F64)
+    }
+
+    /// The equivalent HLS C type name.
+    pub fn c_name(&self) -> &'static str {
+        match self {
+            DataType::I8 => "int8_t",
+            DataType::I16 => "int16_t",
+            DataType::I32 => "int32_t",
+            DataType::I64 => "int64_t",
+            DataType::U8 => "uint8_t",
+            DataType::U16 => "uint16_t",
+            DataType::U32 => "uint32_t",
+            DataType::U64 => "uint64_t",
+            DataType::F32 => "float",
+            DataType::F64 => "double",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.c_name())
+    }
+}
+
+/// A loop iterator with a half-open range `[lb, ub)`, matching the paper's
+/// `var i("i", 0, 32)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Var {
+    name: String,
+    lb: i64,
+    ub: i64,
+}
+
+impl Var {
+    /// Declares an iterator over `[lb, ub)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ub <= lb` (empty iterators are almost always bugs in a
+    /// kernel description).
+    pub fn new(name: impl Into<String>, lb: i64, ub: i64) -> Self {
+        let name = name.into();
+        assert!(ub > lb, "iterator {name} has empty range [{lb}, {ub})");
+        Var { name, lb, ub }
+    }
+
+    /// The iterator name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Inclusive lower bound.
+    pub fn lb(&self) -> i64 {
+        self.lb
+    }
+
+    /// Exclusive upper bound.
+    pub fn ub(&self) -> i64 {
+        self.ub
+    }
+
+    /// Trip count of the iterator.
+    pub fn extent(&self) -> i64 {
+        self.ub - self.lb
+    }
+
+    /// The iterator as an affine expression.
+    pub fn expr(&self) -> LinearExpr {
+        LinearExpr::var(&self.name)
+    }
+}
+
+impl From<&Var> for LinearExpr {
+    fn from(v: &Var) -> LinearExpr {
+        v.expr()
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} in [{}, {})", self.name, self.lb, self.ub)
+    }
+}
+
+/// A multi-dimensional array placeholder (`placeholder A("A", {32,32},
+/// p_float32)` in the paper).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Placeholder {
+    name: String,
+    shape: Vec<usize>,
+    dtype: DataType,
+}
+
+impl Placeholder {
+    /// Declares an array.
+    pub fn new(name: impl Into<String>, shape: &[usize], dtype: DataType) -> Self {
+        let name = name.into();
+        assert!(!shape.is_empty(), "array {name} needs at least one dim");
+        Placeholder {
+            name,
+            shape: shape.to_vec(),
+            dtype,
+        }
+    }
+
+    /// The array name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The array shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The element type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// True when the array has no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A *load* expression `A(idx...)` for use inside compute bodies.
+    ///
+    /// Index expressions accept anything convertible to [`LinearExpr`]
+    /// (iterators, or affine combinations like `i.expr() - 1`).
+    pub fn at<E>(&self, indices: &[E]) -> Expr
+    where
+        E: Clone + Into<LinearExpr>,
+    {
+        Expr::Load(self.access(indices))
+    }
+
+    /// An access function `A[idx...]` used as a store destination.
+    pub fn access<E>(&self, indices: &[E]) -> AccessFn
+    where
+        E: Clone + Into<LinearExpr>,
+    {
+        assert_eq!(
+            indices.len(),
+            self.shape.len(),
+            "array {} has rank {}, got {} indices",
+            self.name,
+            self.shape.len(),
+            indices.len()
+        );
+        AccessFn::new(
+            self.name.clone(),
+            indices.iter().map(|e| e.clone().into()).collect(),
+        )
+    }
+}
+
+impl fmt::Display for Placeholder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dims: Vec<String> = self.shape.iter().map(|d| d.to_string()).collect();
+        write!(f, "{} {}[{}]", self.dtype, self.name, dims.join("]["))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_properties() {
+        assert_eq!(DataType::F32.bits(), 32);
+        assert!(DataType::F32.is_float());
+        assert!(!DataType::I32.is_float());
+        assert_eq!(DataType::I8.c_name(), "int8_t");
+        assert_eq!(DataType::U64.bits(), 64);
+        assert_eq!(DataType::default(), DataType::F32);
+    }
+
+    #[test]
+    fn var_range() {
+        let i = Var::new("i", 0, 32);
+        assert_eq!(i.extent(), 32);
+        assert_eq!(i.expr().coeff("i"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_var_panics() {
+        Var::new("i", 5, 5);
+    }
+
+    #[test]
+    fn placeholder_access() {
+        let a = Placeholder::new("A", &[32, 32], DataType::F32);
+        let i = Var::new("i", 0, 32);
+        let j = Var::new("j", 0, 32);
+        let acc = a.access(&[&i, &j]);
+        assert_eq!(acc.array, "A");
+        assert_eq!(acc.indices.len(), 2);
+        assert_eq!(a.len(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn access_rank_mismatch_panics() {
+        let a = Placeholder::new("A", &[32, 32], DataType::F32);
+        let i = Var::new("i", 0, 32);
+        a.access(&[&i]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = Placeholder::new("A", &[4, 8], DataType::F64);
+        assert_eq!(a.to_string(), "double A[4][8]");
+        assert_eq!(Var::new("i", 0, 4).to_string(), "i in [0, 4)");
+    }
+}

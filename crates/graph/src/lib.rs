@@ -1,0 +1,33 @@
+//! # pom-graph — the dependence graph IR (layer 1, Section V-A)
+//!
+//! The first of POM's three IR layers. From a [`pom_dsl::Function`] it
+//! builds a graph whose nodes are loop nests (computes) and whose edges
+//! are coarse-grained producer→consumer relations extracted from load and
+//! store operations (Fig. 8①②). On each node it runs the *fine-grained*
+//! analysis (Fig. 8③): reduction dimensions, loop-carried dependences with
+//! distance/direction vectors, and a transformation hint consumed by the
+//! DSE engine's first stage (interchange for a movable carried level,
+//! skewing when every level is carried).
+//!
+//! ```
+//! use pom_dsl::{DataType, Function};
+//! use pom_graph::DepGraph;
+//!
+//! let mut f = Function::new("ex");
+//! let i = f.var("i", 0, 16);
+//! let j = f.var("j", 0, 16);
+//! let a = f.placeholder("A", &[16, 16], DataType::F32);
+//! let q = f.placeholder("q", &[16], DataType::F32);
+//! f.compute("S1", &[i.clone(), j.clone()],
+//!           q.at(&[&i]) + a.at(&[&i, &j]), q.access(&[&i]));
+//! let g = DepGraph::build(&f);
+//! assert_eq!(g.nodes().len(), 1);
+//! // q[i] is re-read along j: a tight carried dependence at level 1.
+//! assert!(g.node("S1").unwrap().analysis.has_carried_dependence());
+//! ```
+
+pub mod analysis;
+pub mod graph;
+
+pub use analysis::{Hint, NodeAnalysis};
+pub use graph::{DepEdge, DepGraph, DepNode};

@@ -1,0 +1,92 @@
+//! C testbench generation for the emitted HLS kernel.
+//!
+//! Produces a self-checking `main()` that initializes every array with the
+//! same deterministic pattern as [`pom_dsl::MemoryState::for_function_seeded`],
+//! calls the kernel, and prints a checksum — the standard C simulation
+//! harness one would hand to `vitis_hls -csim`.
+
+use pom_ir::AffineFunc;
+use std::fmt::Write as _;
+
+/// Emits a self-checking testbench for `func` (to be compiled together
+/// with the output of [`crate::emit_hls_c`]).
+pub fn emit_testbench(func: &AffineFunc, seed: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "#include <stdio.h>");
+    let _ = writeln!(out, "#include <stdint.h>");
+    let _ = writeln!(out);
+    let params: Vec<String> = func
+        .memrefs
+        .iter()
+        .map(|m| {
+            let dims: Vec<String> = m.shape.iter().map(|d| format!("[{d}]")).collect();
+            format!("{} {}{}", m.dtype.c_name(), m.name, dims.join(""))
+        })
+        .collect();
+    let _ = writeln!(out, "void {}({});", func.name, params.join(", "));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "// Mirrors MemoryState::for_function_seeded({seed}).");
+    let _ = writeln!(out, "static float init_value(uint64_t i, uint64_t salt) {{");
+    let _ = writeln!(
+        out,
+        "  uint64_t x = i * 0x9E3779B97F4A7C15ULL + ({seed}ULL ^ salt);"
+    );
+    let _ = writeln!(out, "  x ^= x >> 29;");
+    let _ = writeln!(out, "  x *= 0xBF58476D1CE4E5B9ULL;");
+    let _ = writeln!(out, "  x ^= x >> 32;");
+    let _ = writeln!(out, "  return ((float)(x % 1000)) / 100.0f - 5.0f;");
+    let _ = writeln!(out, "}}");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "int main(void) {{");
+    for m in &func.memrefs {
+        let dims: Vec<String> = m.shape.iter().map(|d| format!("[{d}]")).collect();
+        let _ = writeln!(out, "  static {} {}{};", m.dtype.c_name(), m.name, dims.join(""));
+    }
+    for m in &func.memrefs {
+        let salt: u64 = m.name.bytes().map(u64::from).sum();
+        let total: usize = m.shape.iter().product();
+        let _ = writeln!(
+            out,
+            "  for (uint64_t i = 0; i < {total}; ++i) (({}*){})[i] = init_value(i, {salt});",
+            m.dtype.c_name(),
+            m.name
+        );
+    }
+    let args: Vec<&str> = func.memrefs.iter().map(|m| m.name.as_str()).collect();
+    let _ = writeln!(out, "  {}({});", func.name, args.join(", "));
+    let _ = writeln!(out, "  double checksum = 0.0;");
+    for m in &func.memrefs {
+        let total: usize = m.shape.iter().product();
+        let _ = writeln!(
+            out,
+            "  for (uint64_t i = 0; i < {total}; ++i) checksum += (({}*){})[i];",
+            m.dtype.c_name(),
+            m.name
+        );
+    }
+    let _ = writeln!(out, "  printf(\"checksum: %.6f\\n\", checksum);");
+    let _ = writeln!(out, "  return 0;");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pom_dsl::DataType;
+    use pom_ir::MemRefDecl;
+
+    #[test]
+    fn testbench_declares_and_calls_kernel() {
+        let mut f = AffineFunc::new("gemm");
+        f.memrefs.push(MemRefDecl::new("A", &[8, 8], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("B", &[8, 8], DataType::F32));
+        let tb = emit_testbench(&f, 42);
+        assert!(tb.contains("void gemm(float A[8][8], float B[8][8]);"));
+        assert!(tb.contains("gemm(A, B);"));
+        assert!(tb.contains("checksum"));
+        assert!(tb.contains("init_value(i, "));
+        let opens = tb.matches('{').count();
+        assert_eq!(opens, tb.matches('}').count());
+    }
+}

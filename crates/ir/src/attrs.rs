@@ -1,0 +1,156 @@
+//! HLS attributes attached to loops and memrefs — the paper's explicit
+//! representation of HLS pragmas in the affine dialect.
+
+use pom_dsl::{DataType, PartitionStyle};
+use std::fmt;
+
+/// Hardware-optimization attributes on an `affine.for` op.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HlsAttrs {
+    /// `#pragma HLS pipeline II=<target>` — target initiation interval.
+    pub pipeline_ii: Option<i64>,
+    /// `#pragma HLS unroll factor=<f>`.
+    pub unroll_factor: Option<i64>,
+    /// `#pragma HLS dependence ... false` — asserts no loop-carried
+    /// dependence (emitted from analysis guidance).
+    pub dependence_free: bool,
+}
+
+impl HlsAttrs {
+    /// No attributes.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when any attribute is set.
+    pub fn any(&self) -> bool {
+        self.pipeline_ii.is_some() || self.unroll_factor.is_some() || self.dependence_free
+    }
+}
+
+impl fmt::Display for HlsAttrs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if let Some(ii) = self.pipeline_ii {
+            parts.push(format!("pipeline_ii = {ii}"));
+        }
+        if let Some(u) = self.unroll_factor {
+            parts.push(format!("unroll = {u}"));
+        }
+        if self.dependence_free {
+            parts.push("dependence = false".to_string());
+        }
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+/// Array-partitioning directive on a memref.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionInfo {
+    /// One factor per array dimension (1 = unpartitioned).
+    pub factors: Vec<i64>,
+    /// Partition style.
+    pub style: PartitionStyle,
+}
+
+impl PartitionInfo {
+    /// Total number of memory banks after partitioning.
+    pub fn banks(&self) -> i64 {
+        self.factors.iter().product::<i64>().max(1)
+    }
+}
+
+impl fmt::Display for PartitionInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fs: Vec<String> = self.factors.iter().map(|x| x.to_string()).collect();
+        write!(f, "partition<{} [{}]>", self.style, fs.join(", "))
+    }
+}
+
+/// A memref declaration: the array storage of the function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemRefDecl {
+    /// Array name.
+    pub name: String,
+    /// Shape.
+    pub shape: Vec<usize>,
+    /// Element type.
+    pub dtype: DataType,
+    /// Optional partitioning.
+    pub partition: Option<PartitionInfo>,
+}
+
+impl MemRefDecl {
+    /// Creates an unpartitioned memref.
+    pub fn new(name: impl Into<String>, shape: &[usize], dtype: DataType) -> Self {
+        MemRefDecl {
+            name: name.into(),
+            shape: shape.to_vec(),
+            dtype,
+            partition: None,
+        }
+    }
+
+    /// The number of banks (1 when unpartitioned).
+    pub fn banks(&self) -> i64 {
+        self.partition.as_ref().map_or(1, PartitionInfo::banks)
+    }
+
+    /// Memory bits occupied by the array.
+    pub fn bits(&self) -> u64 {
+        self.shape.iter().product::<usize>() as u64 * u64::from(self.dtype.bits())
+    }
+}
+
+impl fmt::Display for MemRefDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dims: Vec<String> = self.shape.iter().map(|d| d.to_string()).collect();
+        write!(f, "memref<{}x{}>", dims.join("x"), self.dtype)?;
+        if let Some(p) = &self.partition {
+            write!(f, " {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attrs_display_and_any() {
+        let mut a = HlsAttrs::none();
+        assert!(!a.any());
+        a.pipeline_ii = Some(1);
+        a.unroll_factor = Some(4);
+        assert!(a.any());
+        assert_eq!(a.to_string(), "{pipeline_ii = 1, unroll = 4}");
+    }
+
+    #[test]
+    fn partition_banks() {
+        let p = PartitionInfo {
+            factors: vec![4, 4],
+            style: PartitionStyle::Cyclic,
+        };
+        assert_eq!(p.banks(), 16);
+        let p1 = PartitionInfo {
+            factors: vec![1],
+            style: PartitionStyle::Block,
+        };
+        assert_eq!(p1.banks(), 1);
+    }
+
+    #[test]
+    fn memref_properties() {
+        let mut m = MemRefDecl::new("A", &[32, 32], DataType::F32);
+        assert_eq!(m.banks(), 1);
+        assert_eq!(m.bits(), 32 * 32 * 32);
+        m.partition = Some(PartitionInfo {
+            factors: vec![2, 8],
+            style: PartitionStyle::Cyclic,
+        });
+        assert_eq!(m.banks(), 16);
+        assert!(m.to_string().contains("memref<32x32xfloat>"));
+    }
+}

@@ -1,0 +1,393 @@
+//! The affine dialect operations.
+//!
+//! Structured ops in the style of MLIR's affine dialect: `affine.for`
+//! (with HLS attributes), `affine.if`, and `affine.store` whose value is
+//! an `arith` expression DAG ([`pom_dsl::Expr`]) containing `affine.load`
+//! leaves.
+
+use crate::attrs::{HlsAttrs, MemRefDecl};
+use pom_poly::{AccessFn, Bound, Constraint};
+use std::fmt;
+
+/// An `affine.for` operation: `for iv = max(lbs) .. min(ubs) step 1`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ForOp {
+    /// Induction variable.
+    pub iv: String,
+    /// Lower-bound candidates (max semantics, ceil division).
+    pub lbs: Vec<Bound>,
+    /// Upper-bound candidates (min semantics, floor division; inclusive).
+    pub ubs: Vec<Bound>,
+    /// HLS attributes.
+    pub attrs: HlsAttrs,
+    /// Loop body.
+    pub body: Vec<AffineOp>,
+}
+
+impl ForOp {
+    /// Constant trip count when both bounds are constants.
+    pub fn const_trip_count(&self) -> Option<i64> {
+        let env = std::collections::HashMap::new();
+        if self.lbs.iter().any(|b| !b.expr.is_constant())
+            || self.ubs.iter().any(|b| !b.expr.is_constant())
+        {
+            return None;
+        }
+        let lb = self.lbs.iter().map(|b| b.eval_lower(&env)).max()?;
+        let ub = self.ubs.iter().map(|b| b.eval_upper(&env)).min()?;
+        Some((ub - lb + 1).max(0))
+    }
+}
+
+/// An `affine.if` operation guarding its body with affine conditions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IfOp {
+    /// Conjunction of conditions.
+    pub conds: Vec<Constraint>,
+    /// Guarded body.
+    pub body: Vec<AffineOp>,
+}
+
+/// An `affine.store` of an `arith` expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreOp {
+    /// Originating statement name (for diagnostics and estimation).
+    pub stmt: String,
+    /// Destination access.
+    pub dest: AccessFn,
+    /// Value expression (contains `affine.load` leaves).
+    pub value: pom_dsl::Expr,
+}
+
+/// Any affine-dialect operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AffineOp {
+    /// `affine.for`.
+    For(ForOp),
+    /// `affine.if`.
+    If(IfOp),
+    /// `affine.store`.
+    Store(StoreOp),
+}
+
+impl AffineOp {
+    /// Walks all ops depth-first, pre-order.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a AffineOp)) {
+        f(self);
+        match self {
+            AffineOp::For(op) => op.body.iter().for_each(|o| o.walk(f)),
+            AffineOp::If(op) => op.body.iter().for_each(|o| o.walk(f)),
+            AffineOp::Store(_) => {}
+        }
+    }
+
+    /// Walks all ops depth-first with mutation.
+    pub fn walk_mut(&mut self, f: &mut impl FnMut(&mut AffineOp)) {
+        f(self);
+        match self {
+            AffineOp::For(op) => op.body.iter_mut().for_each(|o| o.walk_mut(f)),
+            AffineOp::If(op) => op.body.iter_mut().for_each(|o| o.walk_mut(f)),
+            AffineOp::Store(_) => {}
+        }
+    }
+
+    /// Maximum loop depth under this op.
+    pub fn loop_depth(&self) -> usize {
+        match self {
+            AffineOp::For(op) => 1 + op.body.iter().map(AffineOp::loop_depth).max().unwrap_or(0),
+            AffineOp::If(op) => op.body.iter().map(AffineOp::loop_depth).max().unwrap_or(0),
+            AffineOp::Store(_) => 0,
+        }
+    }
+}
+
+/// A function in the affine dialect: memref declarations plus a body.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct AffineFunc {
+    /// Function name.
+    pub name: String,
+    /// Declared memrefs.
+    pub memrefs: Vec<MemRefDecl>,
+    /// Top-level ops.
+    pub body: Vec<AffineOp>,
+}
+
+impl AffineFunc {
+    /// Creates an empty function.
+    pub fn new(name: impl Into<String>) -> Self {
+        AffineFunc {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Memref lookup by name.
+    pub fn memref(&self, name: &str) -> Option<&MemRefDecl> {
+        self.memrefs.iter().find(|m| m.name == name)
+    }
+
+    /// Mutable memref lookup by name.
+    pub fn memref_mut(&mut self, name: &str) -> Option<&mut MemRefDecl> {
+        self.memrefs.iter_mut().find(|m| m.name == name)
+    }
+
+    /// Walks every op in the function.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a AffineOp)) {
+        for op in &self.body {
+            op.walk(f);
+        }
+    }
+
+    /// Walks every op mutably.
+    pub fn walk_mut(&mut self, f: &mut impl FnMut(&mut AffineOp)) {
+        for op in &mut self.body {
+            op.walk_mut(f);
+        }
+    }
+
+    /// Finds the loop with induction variable `iv` and applies `f` to it.
+    /// Returns false when no such loop exists.
+    pub fn with_loop_mut(&mut self, iv: &str, f: impl FnOnce(&mut ForOp)) -> bool {
+        let mut f = Some(f);
+        let mut found = false;
+        self.walk_mut(&mut |op| {
+            if let AffineOp::For(forop) = op {
+                if forop.iv == iv && !found {
+                    if let Some(f) = f.take() {
+                        f(forop);
+                        found = true;
+                    }
+                }
+            }
+        });
+        found
+    }
+
+    /// Attaches a pipeline attribute (`s.pipeline(iv, ii)` lowering).
+    pub fn set_pipeline(&mut self, iv: &str, ii: i64) -> bool {
+        self.with_loop_mut(iv, |l| l.attrs.pipeline_ii = Some(ii))
+    }
+
+    /// Attaches an unroll attribute.
+    pub fn set_unroll(&mut self, iv: &str, factor: i64) -> bool {
+        self.with_loop_mut(iv, |l| l.attrs.unroll_factor = Some(factor))
+    }
+
+    /// Applies `f` to **every** loop named `iv` whose body contains a
+    /// store of statement `stmt` — nests of different statements may reuse
+    /// iterator names, so attribute application must be statement-scoped.
+    /// Returns the number of loops updated.
+    pub fn for_stmt_loops_mut(
+        &mut self,
+        iv: &str,
+        stmt: &str,
+        mut f: impl FnMut(&mut ForOp),
+    ) -> usize {
+        fn contains_stmt(ops: &[AffineOp], stmt: &str) -> bool {
+            ops.iter().any(|op| match op {
+                AffineOp::Store(s) => s.stmt == stmt,
+                AffineOp::For(l) => contains_stmt(&l.body, stmt),
+                AffineOp::If(i) => contains_stmt(&i.body, stmt),
+            })
+        }
+        fn go(
+            ops: &mut [AffineOp],
+            iv: &str,
+            stmt: &str,
+            f: &mut impl FnMut(&mut ForOp),
+            count: &mut usize,
+        ) {
+            for op in ops {
+                match op {
+                    AffineOp::For(l) => {
+                        if l.iv == iv && contains_stmt(&l.body, stmt) {
+                            f(l);
+                            *count += 1;
+                        }
+                        go(&mut l.body, iv, stmt, f, count);
+                    }
+                    AffineOp::If(i) => go(&mut i.body, iv, stmt, f, count),
+                    AffineOp::Store(_) => {}
+                }
+            }
+        }
+        let mut count = 0;
+        go(&mut self.body, iv, stmt, &mut f, &mut count);
+        count
+    }
+
+    /// Statement-scoped pipeline attribute.
+    pub fn set_pipeline_for_stmt(&mut self, iv: &str, stmt: &str, ii: i64) -> bool {
+        self.for_stmt_loops_mut(iv, stmt, |l| l.attrs.pipeline_ii = Some(ii)) > 0
+    }
+
+    /// Statement-scoped unroll attribute.
+    pub fn set_unroll_for_stmt(&mut self, iv: &str, stmt: &str, factor: i64) -> bool {
+        self.for_stmt_loops_mut(iv, stmt, |l| l.attrs.unroll_factor = Some(factor)) > 0
+    }
+
+    /// All store ops in the function.
+    pub fn stores(&self) -> Vec<&StoreOp> {
+        let mut out = Vec::new();
+        self.walk(&mut |op| {
+            if let AffineOp::Store(s) = op {
+                out.push(s);
+            }
+        });
+        out
+    }
+}
+
+fn bound_text(bs: &[Bound], lower: bool) -> String {
+    let parts: Vec<String> = bs
+        .iter()
+        .map(|b| {
+            if b.div == 1 {
+                format!("{}", b.expr)
+            } else if lower {
+                format!("ceildiv({}, {})", b.expr, b.div)
+            } else {
+                format!("floordiv({}, {})", b.expr, b.div)
+            }
+        })
+        .collect();
+    if parts.len() == 1 {
+        parts.into_iter().next().expect("len checked")
+    } else if lower {
+        format!("max({})", parts.join(", "))
+    } else {
+        format!("min({})", parts.join(", "))
+    }
+}
+
+fn fmt_ops(ops: &[AffineOp], f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    let pad = "  ".repeat(depth);
+    for op in ops {
+        match op {
+            AffineOp::For(l) => {
+                write!(
+                    f,
+                    "{pad}affine.for %{} = {} to {}",
+                    l.iv,
+                    bound_text(&l.lbs, true),
+                    bound_text(&l.ubs, false)
+                )?;
+                if l.attrs.any() {
+                    write!(f, " attributes {}", l.attrs)?;
+                }
+                writeln!(f, " {{")?;
+                fmt_ops(&l.body, f, depth + 1)?;
+                writeln!(f, "{pad}}}")?;
+            }
+            AffineOp::If(i) => {
+                let cs: Vec<String> = i.conds.iter().map(|c| c.to_string()).collect();
+                writeln!(f, "{pad}affine.if ({}) {{", cs.join(" && "))?;
+                fmt_ops(&i.body, f, depth + 1)?;
+                writeln!(f, "{pad}}}")?;
+            }
+            AffineOp::Store(s) => {
+                let idx: Vec<String> = s.dest.indices.iter().map(|e| format!("{e}")).collect();
+                writeln!(
+                    f,
+                    "{pad}affine.store {} -> %{}[{}]  // stmt {}",
+                    s.value,
+                    s.dest.array,
+                    idx.join(", "),
+                    s.stmt
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for AffineFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func @{}() {{", self.name)?;
+        for m in &self.memrefs {
+            writeln!(f, "  %{} = memref.alloc() : {}", m.name, m)?;
+        }
+        fmt_ops(&self.body, f, 1)?;
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pom_dsl::DataType;
+    use pom_poly::LinearExpr;
+
+    fn simple_loop() -> AffineFunc {
+        let mut func = AffineFunc::new("f");
+        func.memrefs.push(MemRefDecl::new("A", &[8], DataType::F32));
+        let store = StoreOp {
+            stmt: "S".into(),
+            dest: AccessFn::new("A", vec![LinearExpr::var("i")]),
+            value: pom_dsl::Expr::Const(1.0),
+        };
+        func.body.push(AffineOp::For(ForOp {
+            iv: "i".into(),
+            lbs: vec![Bound::new(LinearExpr::constant_expr(0), 1)],
+            ubs: vec![Bound::new(LinearExpr::constant_expr(7), 1)],
+            attrs: HlsAttrs::none(),
+            body: vec![AffineOp::Store(store)],
+        }));
+        func
+    }
+
+    #[test]
+    fn trip_count() {
+        let f = simple_loop();
+        if let AffineOp::For(l) = &f.body[0] {
+            assert_eq!(l.const_trip_count(), Some(8));
+        } else {
+            panic!("expected for");
+        }
+    }
+
+    #[test]
+    fn non_constant_trip_count_is_none() {
+        let l = ForOp {
+            iv: "j".into(),
+            lbs: vec![Bound::new(LinearExpr::var("i"), 1)],
+            ubs: vec![Bound::new(LinearExpr::constant_expr(7), 1)],
+            attrs: HlsAttrs::none(),
+            body: vec![],
+        };
+        assert_eq!(l.const_trip_count(), None);
+    }
+
+    #[test]
+    fn set_attributes_by_iv() {
+        let mut f = simple_loop();
+        assert!(f.set_pipeline("i", 1));
+        assert!(f.set_unroll("i", 4));
+        assert!(!f.set_pipeline("missing", 1));
+        if let AffineOp::For(l) = &f.body[0] {
+            assert_eq!(l.attrs.pipeline_ii, Some(1));
+            assert_eq!(l.attrs.unroll_factor, Some(4));
+        }
+    }
+
+    #[test]
+    fn walk_and_stores() {
+        let f = simple_loop();
+        let mut count = 0;
+        f.walk(&mut |_| count += 1);
+        assert_eq!(count, 2); // for + store
+        assert_eq!(f.stores().len(), 1);
+        assert_eq!(f.body[0].loop_depth(), 1);
+    }
+
+    #[test]
+    fn printer_is_mlir_flavoured() {
+        let mut f = simple_loop();
+        f.set_pipeline("i", 1);
+        let text = f.to_string();
+        assert!(text.contains("affine.for %i = 0 to 7"), "got: {text}");
+        assert!(text.contains("pipeline_ii = 1"), "got: {text}");
+        assert!(text.contains("memref.alloc"), "got: {text}");
+        assert!(text.contains("affine.store"), "got: {text}");
+    }
+}

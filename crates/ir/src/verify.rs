@@ -1,0 +1,244 @@
+//! Structural verification of affine-dialect functions.
+
+use crate::ops::{AffineFunc, AffineOp};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError(pub String);
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies an [`AffineFunc`]:
+///
+/// * induction variables are unique along every nesting path,
+/// * bound and condition expressions only reference in-scope ivs,
+/// * loads/stores target declared memrefs with matching rank,
+/// * store index expressions only reference in-scope ivs,
+/// * HLS attributes are sane (II >= 1, unroll factor >= 1).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify(func: &AffineFunc) -> Result<(), VerifyError> {
+    let memrefs: HashSet<&str> = func.memrefs.iter().map(|m| m.name.as_str()).collect();
+    let mut scope: Vec<String> = Vec::new();
+    verify_ops(func, &func.body, &mut scope, &memrefs)
+}
+
+fn check_expr_scope(
+    e: &pom_poly::LinearExpr,
+    scope: &[String],
+    what: &str,
+) -> Result<(), VerifyError> {
+    for v in e.vars() {
+        if !scope.iter().any(|s| s == v) {
+            return Err(VerifyError(format!(
+                "{what} references {v}, which is not an enclosing induction variable"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn verify_ops(
+    func: &AffineFunc,
+    ops: &[AffineOp],
+    scope: &mut Vec<String>,
+    memrefs: &HashSet<&str>,
+) -> Result<(), VerifyError> {
+    for op in ops {
+        match op {
+            AffineOp::For(l) => {
+                if scope.iter().any(|s| *s == l.iv) {
+                    return Err(VerifyError(format!(
+                        "induction variable {} shadows an enclosing loop",
+                        l.iv
+                    )));
+                }
+                if l.lbs.is_empty() || l.ubs.is_empty() {
+                    return Err(VerifyError(format!("loop {} lacks bounds", l.iv)));
+                }
+                for b in l.lbs.iter().chain(&l.ubs) {
+                    if b.div < 1 {
+                        return Err(VerifyError(format!(
+                            "loop {} has non-positive bound divisor {}",
+                            l.iv, b.div
+                        )));
+                    }
+                    check_expr_scope(&b.expr, scope, &format!("bound of loop {}", l.iv))?;
+                }
+                if let Some(ii) = l.attrs.pipeline_ii {
+                    if ii < 1 {
+                        return Err(VerifyError(format!(
+                            "loop {} has pipeline II {ii} < 1",
+                            l.iv
+                        )));
+                    }
+                }
+                if let Some(u) = l.attrs.unroll_factor {
+                    if u < 1 {
+                        return Err(VerifyError(format!(
+                            "loop {} has unroll factor {u} < 1",
+                            l.iv
+                        )));
+                    }
+                }
+                scope.push(l.iv.clone());
+                verify_ops(func, &l.body, scope, memrefs)?;
+                scope.pop();
+            }
+            AffineOp::If(i) => {
+                for c in &i.conds {
+                    check_expr_scope(&c.expr, scope, "if condition")?;
+                }
+                verify_ops(func, &i.body, scope, memrefs)?;
+            }
+            AffineOp::Store(s) => {
+                let check_access = |a: &pom_poly::AccessFn| -> Result<(), VerifyError> {
+                    if !memrefs.contains(a.array.as_str()) {
+                        return Err(VerifyError(format!(
+                            "access to undeclared memref {}",
+                            a.array
+                        )));
+                    }
+                    let decl = func.memref(&a.array).expect("checked above");
+                    if decl.shape.len() != a.indices.len() {
+                        return Err(VerifyError(format!(
+                            "memref {} has rank {}, access has {} indices",
+                            a.array,
+                            decl.shape.len(),
+                            a.indices.len()
+                        )));
+                    }
+                    for e in &a.indices {
+                        check_expr_scope(e, scope, &format!("index of {}", a.array))?;
+                    }
+                    Ok(())
+                };
+                check_access(&s.dest)?;
+                for l in s.value.loads() {
+                    check_access(l)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{HlsAttrs, MemRefDecl};
+    use crate::ops::{ForOp, StoreOp};
+    use pom_dsl::{DataType, Expr};
+    use pom_poly::{AccessFn, Bound, LinearExpr};
+
+    fn cb(v: i64) -> Bound {
+        Bound::new(LinearExpr::constant_expr(v), 1)
+    }
+
+    fn valid_func() -> AffineFunc {
+        let mut f = AffineFunc::new("f");
+        f.memrefs.push(MemRefDecl::new("A", &[8], DataType::F32));
+        f.body.push(AffineOp::For(ForOp {
+            iv: "i".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(7)],
+            attrs: HlsAttrs::none(),
+            body: vec![AffineOp::Store(StoreOp {
+                stmt: "S".into(),
+                dest: AccessFn::new("A", vec![LinearExpr::var("i")]),
+                value: Expr::Const(1.0),
+            })],
+        }));
+        f
+    }
+
+    #[test]
+    fn valid_function_verifies() {
+        assert_eq!(verify(&valid_func()), Ok(()));
+    }
+
+    #[test]
+    fn undeclared_memref_fails() {
+        let mut f = valid_func();
+        f.memrefs.clear();
+        let err = verify(&f).unwrap_err();
+        assert!(err.0.contains("undeclared memref A"));
+    }
+
+    #[test]
+    fn out_of_scope_index_fails() {
+        let mut f = valid_func();
+        if let AffineOp::For(l) = &mut f.body[0] {
+            if let AffineOp::Store(s) = &mut l.body[0] {
+                s.dest = AccessFn::new("A", vec![LinearExpr::var("z")]);
+            }
+        }
+        let err = verify(&f).unwrap_err();
+        assert!(err.0.contains("references z"));
+    }
+
+    #[test]
+    fn rank_mismatch_fails() {
+        let mut f = valid_func();
+        if let AffineOp::For(l) = &mut f.body[0] {
+            if let AffineOp::Store(s) = &mut l.body[0] {
+                s.dest = AccessFn::new(
+                    "A",
+                    vec![LinearExpr::var("i"), LinearExpr::var("i")],
+                );
+            }
+        }
+        let err = verify(&f).unwrap_err();
+        assert!(err.0.contains("rank"));
+    }
+
+    #[test]
+    fn shadowed_iv_fails() {
+        let mut f = valid_func();
+        if let AffineOp::For(l) = &mut f.body[0] {
+            let inner = ForOp {
+                iv: "i".into(),
+                lbs: vec![cb(0)],
+                ubs: vec![cb(3)],
+                attrs: HlsAttrs::none(),
+                body: vec![],
+            };
+            l.body.push(AffineOp::For(inner));
+        }
+        let err = verify(&f).unwrap_err();
+        assert!(err.0.contains("shadows"));
+    }
+
+    #[test]
+    fn bad_attributes_fail() {
+        let mut f = valid_func();
+        f.set_pipeline("i", 0);
+        let err = verify(&f).unwrap_err();
+        assert!(err.0.contains("II 0"));
+
+        let mut f = valid_func();
+        f.set_unroll("i", -2);
+        let err = verify(&f).unwrap_err();
+        assert!(err.0.contains("unroll factor -2"));
+    }
+
+    #[test]
+    fn missing_bounds_fail() {
+        let mut f = valid_func();
+        if let AffineOp::For(l) = &mut f.body[0] {
+            l.ubs.clear();
+        }
+        let err = verify(&f).unwrap_err();
+        assert!(err.0.contains("lacks bounds"));
+    }
+}

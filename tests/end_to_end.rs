@@ -1,0 +1,223 @@
+//! Integration tests spanning the whole stack: DSL → dependence graph →
+//! polyhedral transformation → affine dialect → HLS C / QoR, with
+//! semantic-equivalence checks against the reference interpreter and the
+//! framework orderings the paper reports.
+
+use pom::{
+    auto_dse, baselines, compile, execute_func, reference_execute, CompileOptions, MemoryState,
+    Pom,
+};
+use pom_bench::kernels;
+
+/// Executes `f`'s auto-DSE design and the reference semantics on the same
+/// seeded memory and asserts bit-identical results for `arrays`.
+fn assert_dse_preserves_semantics(f: &pom::Function, arrays: &[&str], seed: u64) {
+    let opts = CompileOptions::default();
+    let r = auto_dse(f, &opts);
+    let compiled = compile(&r.function, &opts);
+    pom::ir::verify(&compiled.affine).expect("DSE output must verify");
+
+    let mut reference = MemoryState::for_function_seeded(f, seed);
+    reference_execute(f, &mut reference);
+    let mut optimized = MemoryState::for_function_seeded(f, seed);
+    execute_func(&compiled.affine, &mut optimized);
+    for a in arrays {
+        assert_eq!(
+            reference.array(a).unwrap().data(),
+            optimized.array(a).unwrap().data(),
+            "array {a} differs between reference and DSE-optimized execution of {}",
+            f.name()
+        );
+    }
+}
+
+#[test]
+fn gemm_dse_is_semantics_preserving() {
+    assert_dse_preserves_semantics(&kernels::gemm(10), &["A"], 1);
+}
+
+#[test]
+fn bicg_dse_is_semantics_preserving() {
+    assert_dse_preserves_semantics(&kernels::bicg(12), &["s", "q"], 2);
+}
+
+#[test]
+fn gesummv_dse_is_semantics_preserving() {
+    assert_dse_preserves_semantics(&kernels::gesummv(10), &["tmp", "y"], 3);
+}
+
+#[test]
+fn mm2_dse_is_semantics_preserving() {
+    assert_dse_preserves_semantics(&kernels::mm2(8), &["tmp", "D"], 4);
+}
+
+#[test]
+fn mm3_dse_is_semantics_preserving() {
+    assert_dse_preserves_semantics(&kernels::mm3(6), &["E", "Fm", "G"], 5);
+}
+
+#[test]
+fn jacobi1d_dse_is_semantics_preserving() {
+    assert_dse_preserves_semantics(&kernels::jacobi1d(5, 16), &["B"], 6);
+}
+
+#[test]
+fn heat1d_dse_is_semantics_preserving() {
+    assert_dse_preserves_semantics(&kernels::heat1d(5, 16), &["B"], 7);
+}
+
+#[test]
+fn seidel_dse_is_semantics_preserving() {
+    assert_dse_preserves_semantics(&kernels::seidel(12), &["A"], 8);
+}
+
+#[test]
+fn blur_dse_is_semantics_preserving() {
+    assert_dse_preserves_semantics(&kernels::blur(14), &["blurx", "blury"], 9);
+}
+
+#[test]
+fn edge_detect_dse_is_semantics_preserving() {
+    assert_dse_preserves_semantics(&kernels::edge_detect(12), &["edges"], 10);
+}
+
+#[test]
+fn framework_ordering_on_bicg() {
+    // The paper's Fig. 2 ordering: POM > ScaleHLS > POLSCA >= Pluto ~ 1.
+    let n = 512;
+    let f = kernels::bicg(n);
+    let opts = CompileOptions::default();
+    let base = baselines::baseline_compiled(&f, &opts);
+    let pluto = baselines::pluto_like(&f, &opts);
+    let polsca = baselines::polsca_like(&f, &opts);
+    let scalehls = baselines::scalehls_like(&f, &opts, n);
+    let pom = auto_dse(&f, &opts);
+
+    let s = |q: &pom::QoR| q.speedup_over(&base.qor);
+    assert!(s(&pom.compiled.qor) > s(&scalehls.compiled.qor));
+    assert!(s(&scalehls.compiled.qor) > s(&polsca.compiled.qor));
+    assert!(s(&polsca.compiled.qor) > s(&pluto.compiled.qor));
+    assert!(s(&pluto.compiled.qor) < 2.0, "Pluto on FPGA stays near 1x");
+}
+
+#[test]
+fn generated_hls_c_is_synthesizable_shaped() {
+    let f = kernels::gemm(64);
+    let pom_driver = Pom::new();
+    let mut g = f.clone();
+    g.auto_dse();
+    let result = pom_driver.codegen(&g);
+    let c = &result.hls_c;
+    assert!(c.contains("void gemm(float A[64][64]"));
+    assert!(c.contains("#pragma HLS pipeline II=1"));
+    assert!(c.contains("#pragma HLS unroll factor="));
+    assert!(c.contains("#pragma HLS array_partition"));
+    // Braces balance.
+    let open = c.matches('{').count();
+    let close = c.matches('}').count();
+    assert_eq!(open, close, "unbalanced braces in generated C:\n{c}");
+}
+
+#[test]
+fn pipeline_layers_are_consistent() {
+    // Dependence graph IR -> polyhedral IR -> affine dialect agree on the
+    // structure of 3MM: three nests, two source->sink paths, three stores.
+    let f = kernels::mm3(8);
+    let pom_driver = Pom::new();
+    let graph = pom_driver.analyze(&f);
+    assert_eq!(graph.nodes().len(), 3);
+    let paths = graph.data_paths();
+    assert_eq!(paths.len(), 2, "mm1->mm3 and mm2->mm3");
+    let compiled = pom_driver.compile(&f);
+    assert_eq!(compiled.affine.stores().len(), 3);
+    assert_eq!(compiled.stmts.len(), 3);
+}
+
+#[test]
+fn user_schedule_and_auto_dse_both_work_through_facade() {
+    let mut manual = kernels::gemm(32);
+    manual.split("s", "j", 8, "j0", "j1");
+    manual.pipeline("s", "j0", 1);
+    manual.unroll("s", "j1", 8);
+    let pom_driver = Pom::new();
+    let manual_result = pom_driver.codegen(&manual);
+    assert!(manual_result.speedup_over_baseline > 2.0);
+    assert_eq!(manual_result.dse_time.as_nanos(), 0, "no DSE for user schedules");
+
+    let mut auto = kernels::gemm(32);
+    auto.auto_dse();
+    let auto_result = pom_driver.codegen(&auto);
+    assert!(auto_result.speedup_over_baseline >= manual_result.speedup_over_baseline);
+}
+
+#[test]
+fn resource_constrained_dse_respects_smaller_devices() {
+    let f = kernels::mm2(128);
+    for pct in [25, 50, 100] {
+        let device = pom::DeviceSpec::xc7z020().scaled_to(pct);
+        let opts = CompileOptions {
+            device: device.clone(),
+            ..Default::default()
+        };
+        let r = auto_dse(&f, &opts);
+        assert!(
+            r.compiled.qor.resources.dsp <= device.dsp,
+            "{pct}%: {} DSPs over budget {}",
+            r.compiled.qor.resources.dsp,
+            device.dsp
+        );
+    }
+}
+
+#[test]
+fn dnn_networks_compile_and_fit() {
+    let opts = CompileOptions::default();
+    for f in [kernels::vgg16(1), kernels::resnet18(1)] {
+        let r = auto_dse(&f, &opts);
+        assert!(r.compiled.qor.resources.dsp <= 220, "{}", f.name());
+        let base = baselines::baseline_compiled(&f, &opts);
+        assert!(
+            r.compiled.qor.speedup_over(&base.qor) > 5.0,
+            "{} speedup too low",
+            f.name()
+        );
+    }
+}
+
+#[test]
+fn synthesis_report_and_testbench_generation() {
+    let mut f = kernels::gemm(32);
+    f.split("s", "j", 8, "j0", "j1");
+    f.pipeline("s", "j0", 1);
+    f.unroll("s", "j1", 8);
+    let pom_driver = Pom::new();
+    let report = pom_driver.report(&f);
+    let text = report.render();
+    assert!(text.contains("Synthesis report: gemm"));
+    assert!(text.contains("loop_k"));
+    assert!(text.contains("DSP48"));
+    assert!(report.time_us() > 0.0);
+
+    let tb = pom_driver.testbench(&f, 7);
+    assert!(tb.contains("int main(void)"));
+    assert!(tb.contains("gemm(A, B, C);"));
+}
+
+#[test]
+fn dse_config_knobs_shape_the_search() {
+    let f = kernels::gemm(128);
+    let opts = CompileOptions::default();
+    let tight = pom::DseConfig {
+        max_parallelism: 4,
+        ..Default::default()
+    };
+    let constrained = pom::auto_dse_with(&f, &opts, &tight);
+    assert!(
+        constrained.groups[0].parallelism() <= 4,
+        "got {:?}",
+        constrained.groups[0].tiles
+    );
+    let free = auto_dse(&f, &opts);
+    assert!(free.groups[0].parallelism() > 4);
+    assert!(free.compiled.qor.latency <= constrained.compiled.qor.latency);
+}

@@ -1,0 +1,47 @@
+//! Smoke tests: every paper-exhibit harness renders non-empty output with
+//! the expected headline strings (the full checks live in `pom-bench`'s
+//! unit tests; the heavy paper-size runs happen under `cargo bench`).
+
+use pom_bench::experiments;
+
+#[test]
+fn fig02_renders() {
+    let s = experiments::fig02::run();
+    assert!(s.contains("POM"));
+    assert!(s.contains("Baseline"));
+}
+
+#[test]
+fn tab04_renders() {
+    let s = experiments::tab04::run();
+    assert!(s.contains("Manual opt."));
+    assert!(s.contains("DSE opt."));
+}
+
+#[test]
+fn fig15_renders() {
+    let s = experiments::fig15::run();
+    assert!(s.contains("GEMM"));
+    assert!(s.contains("HLS C"));
+}
+
+#[test]
+fn fig16_renders() {
+    let s = experiments::fig16::run();
+    assert!(s.contains("compute s"));
+    assert!(s.contains("autoDSE"));
+}
+
+#[test]
+fn tab06_renders() {
+    let s = experiments::tab06::run();
+    assert!(s.contains("EdgeDetect"));
+    assert!(s.contains("Parallelism"));
+}
+
+#[test]
+fn tab07_renders() {
+    let s = experiments::tab07::run();
+    assert!(s.contains("Seidel"));
+    assert!(s.contains("Skew used"));
+}
