@@ -8,7 +8,13 @@ use std::time::Duration;
 fn timed(c: &mut Criterion) {
     let opts = pom::CompileOptions::default();
     c.bench_function("fig12_scaling", |b| {
-        b.iter(|| black_box(pom::baselines::scalehls_like(&pom_bench::kernels::gemm(8192), &opts, 8192)))
+        b.iter(|| {
+            black_box(pom::baselines::scalehls_like(
+                &pom_bench::kernels::gemm(8192),
+                &opts,
+                8192,
+            ))
+        })
     });
     let _ = &opts;
 }

@@ -7,7 +7,12 @@ use std::time::Duration;
 
 fn timed(c: &mut Criterion) {
     c.bench_function("fig14_ablation", |b| {
-        b.iter(|| black_box(pom_bench::experiments::fig14::ablate("2MM", &pom_bench::kernels::mm2(128))))
+        b.iter(|| {
+            black_box(pom_bench::experiments::fig14::ablate(
+                "2MM",
+                &pom_bench::kernels::mm2(128),
+            ))
+        })
     });
 }
 

@@ -8,7 +8,13 @@ use std::time::Duration;
 fn timed(c: &mut Criterion) {
     let opts = pom::CompileOptions::default();
     c.bench_function("fig15_loc", |b| {
-        b.iter(|| black_box(pom::hls::hls_c_loc(&pom::auto_dse(&pom_bench::kernels::gemm(128), &opts).compiled.affine)))
+        b.iter(|| {
+            black_box(pom::hls::hls_c_loc(
+                &pom::auto_dse(&pom_bench::kernels::gemm(128), &opts)
+                    .compiled
+                    .affine,
+            ))
+        })
     });
     let _ = &opts;
 }

@@ -8,7 +8,12 @@ use std::time::Duration;
 fn timed(c: &mut Criterion) {
     let opts = pom::CompileOptions::default();
     c.bench_function("fig16_jacobi_dsl", |b| {
-        b.iter(|| black_box(pom::auto_dse(&pom_bench::kernels::jacobi1d(32, 1024), &opts)))
+        b.iter(|| {
+            black_box(pom::auto_dse(
+                &pom_bench::kernels::jacobi1d(32, 1024),
+                &opts,
+            ))
+        })
     });
     let _ = &opts;
 }

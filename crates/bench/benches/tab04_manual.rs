@@ -8,7 +8,12 @@ use std::time::Duration;
 fn timed(c: &mut Criterion) {
     let opts = pom::CompileOptions::default();
     c.bench_function("tab04_manual", |b| {
-        b.iter(|| black_box(pom::compile(&pom_bench::experiments::tab04::manual_schedule(1024), &opts)))
+        b.iter(|| {
+            black_box(pom::compile(
+                &pom_bench::experiments::tab04::manual_schedule(1024),
+                &opts,
+            ))
+        })
     });
     let _ = &opts;
 }

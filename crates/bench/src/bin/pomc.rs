@@ -4,8 +4,12 @@
 //! the requested artefact:
 //!
 //! ```text
-//! pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule] [--no-dse]
+//! pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint] [--no-dse]
 //! ```
+//!
+//! `--emit lint` runs the `pom-lint` diagnostics suite (POM001–POM005)
+//! over the compiled design and exits nonzero when any error-severity
+//! diagnostic fires.
 //!
 //! Kernels: gemm, bicg, gesummv, 2mm, 3mm, jacobi1d, jacobi2d, heat1d,
 //! seidel, edge_detect, gaussian, blur, vgg16, resnet18.
@@ -33,7 +37,8 @@ fn kernel_by_name(name: &str, size: usize) -> Option<Function> {
     })
 }
 
-const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule] [--no-dse]";
+const USAGE: &str =
+    "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint] [--no-dse]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,11 +84,15 @@ fn main() {
 
     let driver = Pom::new();
     let opts = CompileOptions::default();
-    let scheduled = if use_dse {
-        auto_dse(&f, &opts).function
+    let dse = if use_dse {
+        Some(auto_dse(&f, &opts))
     } else {
-        f.clone()
+        None
     };
+    let scheduled = dse
+        .as_ref()
+        .map(|r| r.function.clone())
+        .unwrap_or_else(|| f.clone());
 
     match emit.as_str() {
         "dsl" => println!("{f}"),
@@ -104,6 +113,19 @@ fn main() {
                 "Speedup over unoptimized baseline: {:.1}x",
                 report.qor.speedup_over(&base.qor)
             );
+        }
+        "lint" => {
+            let report = driver.lint(&scheduled);
+            println!("{}", report.render(scheduled.name()));
+            if let Some(r) = &dse {
+                println!(
+                    "DSE: {} candidate(s) estimated, {} lint-pruned before estimation",
+                    r.stats.estimated, r.stats.lint_pruned
+                );
+            }
+            if report.has_errors() {
+                std::process::exit(1);
+            }
         }
         other => {
             eprintln!("unknown --emit {other}\n{USAGE}");

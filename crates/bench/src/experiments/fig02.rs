@@ -49,7 +49,11 @@ pub fn run() -> String {
             r.framework.clone(),
             r.latency.to_string(),
             fmt_speedup(r.speedup),
-            if r.ii == 0 { "-".into() } else { r.ii.to_string() },
+            if r.ii == 0 {
+                "-".into()
+            } else {
+                r.ii.to_string()
+            },
         ]);
     }
     t.render()

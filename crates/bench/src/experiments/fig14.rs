@@ -54,15 +54,26 @@ pub fn ablate(name: &'static str, f: &Function) -> Vec<Point> {
     // LP: pipeline the innermost loops only (tiles = 1 everywhere).
     let groups = plan_groups(f);
     let lp = schedule_for(f, &groups);
-    push("LP", &compile(&lp, &opts).qor);
+    push(
+        "LP",
+        &compile(&lp, &opts).expect("LP schedule compiles").qor,
+    );
 
     // LP+LT/LU: stage-2 tiling DSE without array partitioning.
-    let (tiled, _) = bottleneck_optimize(f, &opts);
+    let tiled = bottleneck_optimize(f, &opts).function;
     let no_ap = strip_partitions(&tiled);
-    push("LP+LT/LU", &compile(&no_ap, &opts).qor);
+    push(
+        "LP+LT/LU",
+        &compile(&no_ap, &opts)
+            .expect("unpartitioned schedule compiles")
+            .qor,
+    );
 
     // LP+LT/LU+AP: full stage 2 (no dependence-aware restructuring).
-    push("LP+LT/LU+AP", &compile(&tiled, &opts).qor);
+    push(
+        "LP+LT/LU+AP",
+        &compile(&tiled, &opts).expect("tiled schedule compiles").qor,
+    );
 
     // Full POM: stage 1 + stage 2.
     let full = auto_dse(f, &opts);

@@ -55,7 +55,12 @@ pub fn results(size: usize) -> Vec<Row> {
 pub fn run() -> String {
     let mut t = Table::new(
         "Fig. 15 — Lines of code: DSL (autoDSE) vs DSL (manual) vs HLS C",
-        &["Benchmark", "DSL + autoDSE", "DSL + manual primitives", "Generated HLS C"],
+        &[
+            "Benchmark",
+            "DSL + autoDSE",
+            "DSL + manual primitives",
+            "Generated HLS C",
+        ],
     );
     for r in results(256) {
         t.row(&[
@@ -87,9 +92,18 @@ mod tests {
                 r.hls_c
             );
             if ["2MM", "3MM"].contains(&r.benchmark) {
-                assert!(r.dsl_auto * 2 <= r.hls_c, "{}: {} vs {}", r.benchmark, r.dsl_auto, r.hls_c);
+                assert!(
+                    r.dsl_auto * 2 <= r.hls_c,
+                    "{}: {} vs {}",
+                    r.benchmark,
+                    r.dsl_auto,
+                    r.hls_c
+                );
             }
-            assert!(r.dsl_auto <= r.dsl_manual, "autoDSE never longer than manual");
+            assert!(
+                r.dsl_auto <= r.dsl_manual,
+                "autoDSE never longer than manual"
+            );
         }
     }
 }

@@ -36,7 +36,7 @@ pub fn results(t: usize, n: usize) -> Comparison {
     let opts = paper_options();
     let f = kernels::jacobi1d(t, n);
     let base = baselines::baseline_compiled(&f, &opts);
-    let manual = compile(&manual_schedule(t, n), &opts);
+    let manual = compile(&manual_schedule(t, n), &opts).expect("manual schedule compiles");
     let auto = auto_dse(&f, &opts);
     Comparison {
         manual_speedup: manual.qor.speedup_over(&base.qor),
@@ -107,14 +107,11 @@ mod tests {
         let f = kernels::jacobi1d(6, 24);
         let m = manual_schedule(6, 24);
         let opts = paper_options();
-        let compiled = compile(&m, &opts);
+        let compiled = compile(&m, &opts).expect("manual schedule compiles");
         let mut r1 = MemoryState::for_function_seeded(&f, 9);
         reference_execute(&f, &mut r1);
         let mut r2 = MemoryState::for_function_seeded(&f, 9);
         execute_func(&compiled.affine, &mut r2);
-        assert_eq!(
-            r1.array("B").unwrap().data(),
-            r2.array("B").unwrap().data()
-        );
+        assert_eq!(r1.array("B").unwrap().data(), r2.array("B").unwrap().data());
     }
 }

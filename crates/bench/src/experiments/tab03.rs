@@ -68,7 +68,11 @@ pub fn render(rows: Vec<(&'static str, FrameworkRow)>) -> String {
             fmt_util(r.ff, d.ff),
             fmt_util(r.lut, d.lut),
             format!("{:.3}", r.power),
-            if r.ii == 0 { "-".into() } else { r.ii.to_string() },
+            if r.ii == 0 {
+                "-".into()
+            } else {
+                r.ii.to_string()
+            },
             r.tiles.clone(),
             if r.parallelism > 0.0 {
                 format!("{:.1}", r.parallelism)
@@ -94,10 +98,7 @@ mod tests {
 
     #[test]
     fn table_shape_holds_at_paper_size() {
-        let rows: Vec<(&str, FrameworkRow)> = results(SIZE)
-            .into_iter()
-            .map(|(b, r)| (b, r))
-            .collect();
+        let rows: Vec<(&str, FrameworkRow)> = results(SIZE).into_iter().collect();
         // POM always beats POLSCA, by a lot.
         for b in ["GEMM", "BICG", "GESUMMV", "2MM", "3MM"] {
             let pom = speedup_of(&rows, b, "POM");
@@ -105,14 +106,9 @@ mod tests {
             assert!(pom > 5.0 * polsca, "{b}: POM {pom} vs POLSCA {polsca}");
         }
         // Paper: POM >> ScaleHLS on BICG and 2MM; near-parity on GEMM.
-        assert!(
-            speedup_of(&rows, "BICG", "POM") > 2.0 * speedup_of(&rows, "BICG", "ScaleHLS")
-        );
-        assert!(
-            speedup_of(&rows, "2MM", "POM") > 1.5 * speedup_of(&rows, "2MM", "ScaleHLS")
-        );
-        let gemm_ratio =
-            speedup_of(&rows, "GEMM", "POM") / speedup_of(&rows, "GEMM", "ScaleHLS");
+        assert!(speedup_of(&rows, "BICG", "POM") > 2.0 * speedup_of(&rows, "BICG", "ScaleHLS"));
+        assert!(speedup_of(&rows, "2MM", "POM") > 1.5 * speedup_of(&rows, "2MM", "ScaleHLS"));
+        let gemm_ratio = speedup_of(&rows, "GEMM", "POM") / speedup_of(&rows, "GEMM", "ScaleHLS");
         assert!((0.5..=4.0).contains(&gemm_ratio), "GEMM ratio {gemm_ratio}");
     }
 

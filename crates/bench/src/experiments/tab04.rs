@@ -49,7 +49,7 @@ pub fn results(size: usize) -> Vec<Row> {
     let opts = paper_options();
     let f = kernels::bicg(size);
     let base = baselines::baseline_compiled(&f, &opts);
-    let manual = compile(&manual_schedule(size), &opts);
+    let manual = compile(&manual_schedule(size), &opts).expect("manual schedule compiles");
     let dse = auto_dse(&f, &opts);
     let row = |design, q: &pom::QoR| Row {
         design,
@@ -71,7 +71,14 @@ pub fn run() -> String {
     let d = DeviceSpec::xc7z020();
     let mut t = Table::new(
         "Table IV — Manual vs automatic optimization on BICG (size 4096)",
-        &["Design", "Cycles", "Speedup", "DSP(Util.%)", "FF(Util.%)", "LUT(Util.%)"],
+        &[
+            "Design",
+            "Cycles",
+            "Speedup",
+            "DSP(Util.%)",
+            "FF(Util.%)",
+            "LUT(Util.%)",
+        ],
     );
     for r in results(4096) {
         t.row(&[
@@ -111,7 +118,7 @@ mod tests {
         let f = kernels::bicg(12);
         let m = manual_schedule(12);
         let opts = paper_options();
-        let compiled = compile(&m, &opts);
+        let compiled = compile(&m, &opts).expect("manual schedule compiles");
         let mut r1 = MemoryState::for_function_seeded(&f, 5);
         reference_execute(&f, &mut r1);
         let mut r2 = MemoryState::for_function_seeded(&f, 5);

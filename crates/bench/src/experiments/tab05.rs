@@ -8,10 +8,23 @@ use crate::kernels;
 use pom::{DeviceSpec, Function};
 
 /// The application set: `(domain, name, function, reported size)`.
-pub fn applications(image_size: usize, dnn_scale: usize) -> Vec<(&'static str, &'static str, Function, usize)> {
+pub fn applications(
+    image_size: usize,
+    dnn_scale: usize,
+) -> Vec<(&'static str, &'static str, Function, usize)> {
     vec![
-        ("Image", "EdgeDetect", kernels::edge_detect(image_size), image_size),
-        ("Image", "Gaussian", kernels::gaussian(image_size), image_size),
+        (
+            "Image",
+            "EdgeDetect",
+            kernels::edge_detect(image_size),
+            image_size,
+        ),
+        (
+            "Image",
+            "Gaussian",
+            kernels::gaussian(image_size),
+            image_size,
+        ),
         ("Image", "Blur", kernels::blur(image_size), image_size),
         ("DNN", "VGG-16", kernels::vgg16(dnn_scale), 512),
         ("DNN", "ResNet-18", kernels::resnet18(dnn_scale), 512),

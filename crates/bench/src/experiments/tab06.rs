@@ -68,7 +68,13 @@ pub fn results(size: usize) -> Vec<Row> {
 pub fn run() -> String {
     let mut t = Table::new(
         "Table VI — Critical-loop optimization on image apps",
-        &["Benchmark", "Framework", "Tile sizes", "Achieved II", "Parallelism"],
+        &[
+            "Benchmark",
+            "Framework",
+            "Tile sizes",
+            "Achieved II",
+            "Parallelism",
+        ],
     );
     for r in results(4096) {
         let tiles: Vec<String> = r.tiles.iter().map(|x| x.to_string()).collect();
@@ -105,7 +111,12 @@ mod tests {
                 pom.parallelism,
                 sh.parallelism
             );
-            assert!(pom.ii <= sh.ii, "{b}: POM II {} vs ScaleHLS {}", pom.ii, sh.ii);
+            assert!(
+                pom.ii <= sh.ii,
+                "{b}: POM II {} vs ScaleHLS {}",
+                pom.ii,
+                sh.ii
+            );
         }
     }
 }

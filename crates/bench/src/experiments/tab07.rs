@@ -84,7 +84,11 @@ pub fn run() -> String {
             fmt_util(r.dsp, d.dsp),
             fmt_util(r.ff, d.ff),
             fmt_util(r.lut, d.lut),
-            if r.used_skew { "yes".into() } else { "no".into() },
+            if r.used_skew {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     t.render()

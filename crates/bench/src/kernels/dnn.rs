@@ -24,11 +24,7 @@ fn conv_layer(
 ) -> Placeholder {
     let ksize = 3usize;
     let out = f.placeholder(&format!("{name}_out"), &[co, size, size], DataType::F32);
-    let w = f.placeholder(
-        &format!("{name}_w"),
-        &[co, ci, ksize, ksize],
-        DataType::F32,
-    );
+    let w = f.placeholder(&format!("{name}_w"), &[co, ci, ksize, ksize], DataType::F32);
     let vco = f.var(&format!("{name}_co"), 0, co as i64);
     let vy = f.var(&format!("{name}_y"), 0, size as i64);
     let vx = f.var(&format!("{name}_x"), 0, size as i64);
@@ -120,9 +116,14 @@ pub fn vgg16(scale: usize) -> Function {
                 &[cur.shape()[0], size + 2, size + 2],
                 DataType::F32,
             );
+            // The 2x strided read below must stay inside the source
+            // feature map, so the copy loop covers min(dst, src/2) rows;
+            // the remaining padding rows are never read strided.
+            let ny = (size + 2).min(cur.shape()[1] / 2);
+            let nx = (size + 2).min(cur.shape()[2] / 2);
             let vc = f.var(&format!("pl{l}_c"), 0, cur.shape()[0] as i64);
-            let vy = f.var(&format!("pl{l}_y"), 0, (size + 2) as i64);
-            let vx = f.var(&format!("pl{l}_x"), 0, (size + 2) as i64);
+            let vy = f.var(&format!("pl{l}_y"), 0, ny as i64);
+            let vx = f.var(&format!("pl{l}_x"), 0, nx as i64);
             // 2x2 subsampling read (max-pool approximated by strided copy:
             // same loop structure and data movement, cheaper expression).
             let sy = vy.expr() * 2;
@@ -186,7 +187,11 @@ pub fn resnet18(scale: usize) -> Function {
 /// shape (boundary handling for the affine conv accesses).
 fn repad(f: &mut Function, cur: &Placeholder, size: usize, name: &str) -> Placeholder {
     let c = cur.shape()[0];
-    let out = f.placeholder(&format!("{name}_buf"), &[c, size + 2, size + 2], DataType::F32);
+    let out = f.placeholder(
+        &format!("{name}_buf"),
+        &[c, size + 2, size + 2],
+        DataType::F32,
+    );
     let vc = f.var(&format!("{name}_c"), 0, c as i64);
     let vy = f.var(&format!("{name}_y"), 0, cur.shape()[1].min(size + 2) as i64);
     let vx = f.var(&format!("{name}_x"), 0, cur.shape()[2].min(size + 2) as i64);
@@ -223,11 +228,7 @@ mod tests {
     fn resnet18_has_20_critical_loops() {
         let f = resnet18(1);
         // Paper: 17 convolution loops + 3 residual loops.
-        let convs = f
-            .computes()
-            .iter()
-            .filter(|c| c.iters().len() > 4)
-            .count();
+        let convs = f.computes().iter().filter(|c| c.iters().len() > 4).count();
         let residuals = f
             .computes()
             .iter()

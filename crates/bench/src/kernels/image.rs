@@ -123,14 +123,17 @@ pub fn blur(n: usize) -> Function {
     f.compute(
         "blurx",
         &[i.clone(), j.clone()],
-        (input.at(&[i.expr(), jm1.clone()]) + input.at(&[&i, &j]) + input.at(&[i.expr(), jp1.clone()]))
+        (input.at(&[i.expr(), jm1.clone()])
+            + input.at(&[&i, &j])
+            + input.at(&[i.expr(), jp1.clone()]))
             / 3.0,
         bx.access(&[&i, &j]),
     );
     f.compute(
         "blury",
         &[i.clone(), j.clone()],
-        (bx.at(&[im1.clone(), j.expr()]) + bx.at(&[&i, &j]) + bx.at(&[ip1.clone(), j.expr()])) / 3.0,
+        (bx.at(&[im1.clone(), j.expr()]) + bx.at(&[&i, &j]) + bx.at(&[ip1.clone(), j.expr()]))
+            / 3.0,
         out.access(&[&i, &j]),
     );
     f

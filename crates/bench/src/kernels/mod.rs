@@ -6,4 +6,6 @@ pub mod polybench;
 
 pub use dnn::{resnet18, vgg16};
 pub use image::{blur, edge_detect, gaussian};
-pub use polybench::{atax, bicg, doitgen, gemm, gesummv, heat1d, jacobi1d, jacobi2d, mm2, mm3, mvt, seidel};
+pub use polybench::{
+    atax, bicg, doitgen, gemm, gesummv, heat1d, jacobi1d, jacobi2d, mm2, mm3, mvt, seidel,
+};

@@ -81,7 +81,7 @@ pub fn gesummv(n: usize) -> Function {
     );
     f.compute(
         "S3",
-        &[i.clone()],
+        std::slice::from_ref(&i),
         1.5 * tmp.at(&[&i]) + 1.2 * y.at(&[&i]),
         y.access(&[&i]),
     );
@@ -401,7 +401,7 @@ mod extra_tests {
         let f = atax(10);
         let opts = CompileOptions::default();
         let r = auto_dse(&f, &opts);
-        let compiled = pom_dse::compile(&r.function, &opts);
+        let compiled = pom_dse::compile(&r.function, &opts).expect("DSE schedule compiles");
         let mut m1 = MemoryState::for_function_seeded(&f, 3);
         reference_execute(&f, &mut m1);
         let mut m2 = MemoryState::for_function_seeded(&f, 3);

@@ -49,21 +49,23 @@ pub use pom_dsl as dsl;
 pub use pom_graph as graph;
 pub use pom_hls as hls;
 pub use pom_ir as ir;
+pub use pom_lint as lint;
 pub use pom_poly as poly;
 
 pub use pom_dse::{
-    auto_dse, auto_dse_with, baselines, compile, CompileOptions, Compiled, DseConfig, DseResult,
-    GroupConfig,
+    auto_dse, auto_dse_with, baselines, compile, lint_report, CompileError, CompileOptions,
+    Compiled, DseConfig, DseResult, DseStats, GroupConfig,
 };
 pub use pom_dsl::{
-    reference_execute, ArrayData, Compute, DataType, Expr, Function, MemoryState,
-    PartitionStyle, Placeholder, Primitive, Var,
+    reference_execute, ArrayData, Compute, DataType, Expr, Function, MemoryState, PartitionStyle,
+    Placeholder, Primitive, Var,
 };
 pub use pom_graph::DepGraph;
 pub use pom_hls::{
     emit_hls_c, emit_testbench, CostModel, DeviceSpec, QoR, ResourceUsage, SynthesisReport,
 };
 pub use pom_ir::{execute_func, AffineFunc, PassManager};
+pub use pom_lint::{Diagnostic, LintCode, LintReport, Linter, Severity};
 
 /// The end-to-end POM driver: analysis, scheduling (user-specified or
 /// automatic), lowering, and HLS C generation.
@@ -111,8 +113,25 @@ impl Pom {
     }
 
     /// Compiles a function with its *recorded* schedule (no DSE).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the schedule does not lower to valid affine IR; use
+    /// [`Pom::try_compile`] to handle [`CompileError`] gracefully.
     pub fn compile(&self, f: &Function) -> Compiled {
+        self.try_compile(f).expect("schedule compiles")
+    }
+
+    /// Fallible [`Pom::compile`].
+    pub fn try_compile(&self, f: &Function) -> Result<Compiled, CompileError> {
         pom_dse::compile(f, &self.options)
+    }
+
+    /// Runs the `pom-lint` diagnostics suite over the compiled design,
+    /// with source-level (DSL schedule) context for the legality checks.
+    pub fn lint(&self, f: &Function) -> LintReport {
+        let compiled = self.compile(f);
+        pom_dse::lint_report(f, &compiled, &self.options)
     }
 
     /// Generates a Vitis-style synthesis report for the compiled design.
@@ -143,7 +162,7 @@ impl Pom {
             let r = pom_dse::auto_dse(f, &self.options);
             (r.function, r.compiled, r.dse_time)
         } else {
-            (f.clone(), pom_dse::compile(f, &self.options), Default::default())
+            (f.clone(), self.compile(f), Default::default())
         };
         let hls_c = compiled.hls_c();
         let speedup = compiled.qor.speedup_over(&baseline.qor);

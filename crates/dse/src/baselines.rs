@@ -19,7 +19,7 @@
 //!   sharing across nests — Fig. 13). At very large problem sizes its DSE
 //!   degrades to basic pipelining (Section VII-D).
 
-use crate::compile::{apply_schedule, compile, Compiled, CompileOptions};
+use crate::compile::{apply_schedule, compile, CompileOptions, Compiled};
 use crate::stage2::{plan_groups, schedule_for, GroupConfig};
 use pom_dsl::{Function, Primitive};
 use pom_graph::DepGraph;
@@ -68,7 +68,7 @@ pub fn unoptimized(f: &Function) -> Function {
 
 /// Compiles the unoptimized baseline.
 pub fn baseline_compiled(f: &Function, opts: &CompileOptions) -> Compiled {
-    compile(&unoptimized(f), opts)
+    compile(&unoptimized(f), opts).expect("baseline compiles")
 }
 
 /// Pluto-like: locality tiling (32×32 on the two outermost loops),
@@ -93,7 +93,7 @@ pub fn pluto_like(f: &Function, opts: &CompileOptions) -> BaselineResult {
     for p in prims {
         g.record(p);
     }
-    let compiled = compile(&g, opts);
+    let compiled = compile(&g, opts).expect("Pluto baseline compiles");
     BaselineResult {
         name: "Pluto",
         prepared: g.clone(),
@@ -136,7 +136,7 @@ pub fn polsca_like(f: &Function, opts: &CompileOptions) -> BaselineResult {
     for p in prims {
         g.record(p);
     }
-    let compiled = compile(&g, opts);
+    let compiled = compile(&g, opts).expect("POLSCA baseline compiles");
     BaselineResult {
         name: "POLSCA",
         prepared: g.clone(),
@@ -178,7 +178,7 @@ pub fn scalehls_like(f: &Function, opts: &CompileOptions, problem_size: usize) -
         for p in prims {
             g.record(p);
         }
-        let compiled = compile(&g, &sh_opts);
+        let compiled = compile(&g, &sh_opts).expect("ScaleHLS baseline compiles");
         return BaselineResult {
             name: "ScaleHLS",
             prepared: g.clone(),
@@ -211,6 +211,9 @@ pub fn scalehls_like(f: &Function, opts: &CompileOptions, problem_size: usize) -
             // does not stop it from growing another).
             let mut best: Option<(GroupConfig, u64, pom_hls::ResourceUsage)> = None;
             for cand in groups[gi].escalation_candidates() {
+                if crate::stage2::lint_screen(&g, &groups, gi, &cand, &sh_opts, false) {
+                    continue;
+                }
                 let (l2, r2) = crate::stage2::group_compile(&g, &cand, &sh_opts);
                 // Dataflow composition: every nest keeps its own hardware.
                 let mut total = pom_hls::ResourceUsage::zero();
@@ -237,7 +240,7 @@ pub fn scalehls_like(f: &Function, opts: &CompileOptions, problem_size: usize) -
         }
     }
     let current = schedule_for(&g, &groups);
-    let compiled = compile(&current, &sh_opts);
+    let compiled = compile(&current, &sh_opts).expect("ScaleHLS baseline compiles");
     BaselineResult {
         name: "ScaleHLS",
         prepared,
@@ -347,11 +350,8 @@ fn reorder_carried_outermost(g: &mut Function) {
         for &m in members {
             let mut cur: Vec<usize> = (0..n).collect();
             let dims = stmts[m].dims().to_vec();
-            for target_pos in 0..n {
-                let from = cur
-                    .iter()
-                    .position(|&x| x == order[target_pos])
-                    .expect("tracked");
+            for (target_pos, &target) in order.iter().enumerate() {
+                let from = cur.iter().position(|&x| x == target).expect("tracked");
                 let mut p = from;
                 while p > target_pos {
                     prims.push(Primitive::Interchange {
@@ -478,7 +478,11 @@ mod tests {
         // And POM's II is small while ScaleHLS's is inflated.
         let pom_ii = pom.achieved_iis().into_iter().max().unwrap_or(1);
         assert!(pom_ii <= 2, "POM II = {pom_ii}");
-        assert!(sh.achieved_ii() >= 2 * pom_ii, "ScaleHLS II = {}", sh.achieved_ii());
+        assert!(
+            sh.achieved_ii() >= 2 * pom_ii,
+            "ScaleHLS II = {}",
+            sh.achieved_ii()
+        );
     }
 
     #[test]

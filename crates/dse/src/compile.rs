@@ -5,9 +5,44 @@
 use pom_dsl::{Function, Primitive};
 use pom_hls::estimate::{dep_chain_latency, Sharing};
 use pom_hls::{estimate, CarriedDep, CostModel, DepSummary, DeviceSpec, QoR};
-use pom_ir::{lower_to_affine, AffineFunc, MemRefDecl, PartitionInfo, StmtBody};
+use pom_ir::{
+    lower_to_affine, AffineFunc, MemRefDecl, PartitionInfo, PassIssue, StmtBody, VerifyError,
+};
+use pom_lint::{LintContext, LintReport, Linter};
 use pom_poly::{AstBuilder, DepKind, StmtPoly};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why compilation failed.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Lowering produced structurally invalid IR.
+    InvalidIr(VerifyError),
+    /// An IR pass broke an invariant or tripped the lint hook.
+    PassFailed {
+        /// The offending pass.
+        pass: String,
+        /// What went wrong.
+        issue: PassIssue,
+    },
+    /// The compiled function carries error-severity lint diagnostics
+    /// (rendered report), with linting enabled in [`CompileOptions`].
+    Lint(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidIr(e) => write!(f, "lowering produced invalid IR: {e}"),
+            CompileError::PassFailed { pass, issue } => {
+                write!(f, "pass {pass} broke the IR: {issue}")
+            }
+            CompileError::Lint(report) => write!(f, "lint errors:\n{report}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
 
 /// Options for compilation and estimation.
 #[derive(Clone, Debug)]
@@ -18,6 +53,11 @@ pub struct CompileOptions {
     pub sharing: Sharing,
     /// Target device (used by DSE; estimation itself is device-free).
     pub device: DeviceSpec,
+    /// Runs the `pom-lint` standard analyses through the PassManager's
+    /// `lint_each` hook and fails compilation on error-severity findings.
+    /// Off by default: DSE explores intermediate points whose declared
+    /// IIs are retargeted only at the end.
+    pub lint: bool,
 }
 
 impl Default for CompileOptions {
@@ -26,6 +66,7 @@ impl Default for CompileOptions {
             model: CostModel::vitis_f32(),
             sharing: Sharing::Reuse,
             device: DeviceSpec::xc7z020(),
+            lint: false,
         }
     }
 }
@@ -201,7 +242,20 @@ pub fn build_dep_summary(f: &Function, stmts: &[StmtPoly], model: &CostModel) ->
 }
 
 /// Lowers a scheduled function to the annotated affine dialect.
-pub fn lower(f: &Function, stmts: &[StmtPoly]) -> AffineFunc {
+///
+/// # Errors
+///
+/// Returns [`CompileError::InvalidIr`] when lowering breaks a structural
+/// invariant and [`CompileError::PassFailed`] when a cleanup pass does.
+pub fn lower(f: &Function, stmts: &[StmtPoly]) -> Result<AffineFunc, CompileError> {
+    lower_with_lint(f, stmts, None)
+}
+
+fn lower_with_lint(
+    f: &Function,
+    stmts: &[StmtPoly],
+    lint: Option<pom_ir::LintHook>,
+) -> Result<AffineFunc, CompileError> {
     let mut builder = AstBuilder::new();
     for s in stmts {
         builder.add_stmt(s.clone());
@@ -261,26 +315,58 @@ pub fn lower(f: &Function, stmts: &[StmtPoly]) -> AffineFunc {
             _ => {}
         }
     }
-    pom_ir::verify(&func).unwrap_or_else(|e| panic!("lowering produced invalid IR: {e}"));
-    pom_ir::PassManager::standard()
-        .run(&mut func)
-        .unwrap_or_else(|(pass, e)| panic!("pass {pass} broke the IR: {e}"));
-    func
+    pom_ir::verify(&func).map_err(CompileError::InvalidIr)?;
+    let mut pm = pom_ir::PassManager::standard();
+    if let Some(hook) = lint {
+        pm = pm.lint_each(hook);
+    }
+    pm.run(&mut func)
+        .map_err(|(pass, issue)| CompileError::PassFailed { pass, issue })?;
+    Ok(func)
+}
+
+/// Runs the standard lint registry over a compiled function with its full
+/// polyhedral context (dependences, schedule source, device).
+pub fn lint_report(f: &Function, c: &Compiled, opts: &CompileOptions) -> LintReport {
+    let cx =
+        LintContext::new(&c.affine, &c.deps, &opts.model, &opts.device).with_source(f, &c.stmts);
+    Linter::standard().run(&cx)
 }
 
 /// Full pipeline: schedule application, dependence analysis, lowering,
-/// estimation.
-pub fn compile(f: &Function, opts: &CompileOptions) -> Compiled {
+/// estimation — with inter-pass linting when `opts.lint` is set.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] when lowering produces invalid IR, a pass
+/// breaks it, or (with `opts.lint`) the result carries error-severity
+/// lint diagnostics.
+pub fn compile(f: &Function, opts: &CompileOptions) -> Result<Compiled, CompileError> {
     let stmts = apply_schedule(f);
     let deps = build_dep_summary(f, &stmts, &opts.model);
-    let affine = lower(f, &stmts);
+    let hook: Option<pom_ir::LintHook> = if opts.lint {
+        let (deps, model, device) = (deps.clone(), opts.model.clone(), opts.device.clone());
+        let (src_f, src_stmts) = (f.clone(), stmts.clone());
+        Some(Box::new(move |af: &AffineFunc| {
+            let cx = LintContext::new(af, &deps, &model, &device).with_source(&src_f, &src_stmts);
+            let report = Linter::standard().run(&cx);
+            if report.has_errors() {
+                Err(report.render(&af.name))
+            } else {
+                Ok(())
+            }
+        }))
+    } else {
+        None
+    };
+    let affine = lower_with_lint(f, &stmts, hook)?;
     let qor = estimate(&affine, &deps, &opts.model, opts.sharing);
-    Compiled {
+    Ok(Compiled {
         affine,
         qor,
         deps,
         stmts,
-    }
+    })
 }
 
 /// Extracts a sub-function containing only the named computes (with their
@@ -340,7 +426,7 @@ mod tests {
     #[test]
     fn unscheduled_compile_is_sequential() {
         let f = gemm(8);
-        let c = compile(&f, &CompileOptions::default());
+        let c = compile(&f, &CompileOptions::default()).expect("compiles");
         assert!(c.qor.loops.is_empty(), "no pipelined loops");
         // 512 iterations, each costing body latency + overheads.
         assert!(c.qor.latency > 512 * 5);
@@ -360,8 +446,8 @@ mod tests {
         f.partition("B", &[1, 4], PartitionStyle::Cyclic);
         f.partition("C", &[4, 4], PartitionStyle::Cyclic);
         let opts = CompileOptions::default();
-        let optimized = compile(&f, &opts);
-        let baseline = compile(&gemm(32), &opts);
+        let optimized = compile(&f, &opts).expect("compiles");
+        let baseline = compile(&gemm(32), &opts).expect("compiles");
         assert!(!optimized.qor.loops.is_empty());
         let speedup = optimized.qor.speedup_over(&baseline.qor);
         assert!(speedup > 4.0, "speedup {speedup}");
@@ -393,9 +479,19 @@ mod tests {
         let x = f.placeholder("X", &[n], DataType::F32);
         let y = f.placeholder("Y", &[n], DataType::F32);
         let z = f.placeholder("Z", &[n], DataType::F32);
-        f.compute("S1", &[i.clone()], x.at(&[&i]) * 2.0, y.access(&[&i]));
-        f.compute("S2", &[i.clone()], y.at(&[&i]) + 1.0, z.access(&[&i]));
-        let c = compile(&f, &CompileOptions::default());
+        f.compute(
+            "S1",
+            std::slice::from_ref(&i),
+            x.at(&[&i]) * 2.0,
+            y.access(&[&i]),
+        );
+        f.compute(
+            "S2",
+            std::slice::from_ref(&i),
+            y.at(&[&i]) + 1.0,
+            z.access(&[&i]),
+        );
+        let c = compile(&f, &CompileOptions::default()).expect("compiles");
         assert_eq!(c.affine.body.len(), 2, "two sequential nests");
     }
 
@@ -407,10 +503,20 @@ mod tests {
         let x = f.placeholder("X", &[n], DataType::F32);
         let y = f.placeholder("Y", &[n], DataType::F32);
         let z = f.placeholder("Z", &[n], DataType::F32);
-        f.compute("S1", &[i.clone()], x.at(&[&i]) * 2.0, y.access(&[&i]));
-        f.compute("S2", &[i.clone()], x.at(&[&i]) + 1.0, z.access(&[&i]));
+        f.compute(
+            "S1",
+            std::slice::from_ref(&i),
+            x.at(&[&i]) * 2.0,
+            y.access(&[&i]),
+        );
+        f.compute(
+            "S2",
+            std::slice::from_ref(&i),
+            x.at(&[&i]) + 1.0,
+            z.access(&[&i]),
+        );
         f.after("S2", "S1", "i");
-        let c = compile(&f, &CompileOptions::default());
+        let c = compile(&f, &CompileOptions::default()).expect("compiles");
         assert_eq!(c.affine.body.len(), 1, "one fused nest");
         assert_eq!(c.affine.stores().len(), 2);
     }
@@ -423,8 +529,18 @@ mod tests {
         let x = f.placeholder("X", &[n], DataType::F32);
         let y = f.placeholder("Y", &[n], DataType::F32);
         let z = f.placeholder("Z", &[n], DataType::F32);
-        f.compute("S1", &[i.clone()], x.at(&[&i]) * 2.0, y.access(&[&i]));
-        f.compute("S2", &[i.clone()], y.at(&[&i]) + 1.0, z.access(&[&i]));
+        f.compute(
+            "S1",
+            std::slice::from_ref(&i),
+            x.at(&[&i]) * 2.0,
+            y.access(&[&i]),
+        );
+        f.compute(
+            "S2",
+            std::slice::from_ref(&i),
+            y.at(&[&i]) + 1.0,
+            z.access(&[&i]),
+        );
         f.pipeline("S1", "i", 1);
         f.pipeline("S2", "i", 1);
         let g = sub_function(&f, &["S2"]);
@@ -435,7 +551,7 @@ mod tests {
     #[test]
     fn hls_c_roundtrip_contains_kernel() {
         let f = gemm(8);
-        let c = compile(&f, &CompileOptions::default());
+        let c = compile(&f, &CompileOptions::default()).expect("compiles");
         let code = c.hls_c();
         assert!(code.contains("void gemm"));
         assert!(code.contains("for (int"));

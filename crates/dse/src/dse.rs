@@ -1,8 +1,8 @@
 //! The complete two-stage DSE engine (`f.auto_DSE()`).
 
-use crate::compile::{compile, Compiled, CompileOptions};
+use crate::compile::{compile, CompileOptions, Compiled};
 use crate::stage1::dependence_aware_transform;
-use crate::stage2::{bottleneck_optimize_with, DseConfig, GroupConfig};
+use crate::stage2::{bottleneck_optimize_with, DseConfig, DseStats, GroupConfig};
 use pom_dsl::Function;
 use std::time::{Duration, Instant};
 
@@ -15,6 +15,8 @@ pub struct DseResult {
     pub compiled: Compiled,
     /// Final per-node configurations.
     pub groups: Vec<GroupConfig>,
+    /// Stage-2 search counters (estimated and lint-pruned candidates).
+    pub stats: DseStats,
     /// Wall-clock DSE time (the paper's "DSE Time(s)" column — the
     /// toolchain's runtime, since MLIR→HLS C code generation is <0.1 s).
     pub dse_time: Duration,
@@ -23,14 +25,24 @@ pub struct DseResult {
 impl DseResult {
     /// The achieved II of the pipelined loops, in order.
     pub fn achieved_iis(&self) -> Vec<u64> {
-        self.compiled.qor.loops.iter().map(|l| l.achieved_ii).collect()
+        self.compiled
+            .qor
+            .loops
+            .iter()
+            .map(|l| l.achieved_ii)
+            .collect()
     }
 
     /// The paper's *parallelism* metric: product of tile sizes divided by
     /// the achieved II (per group, using the matching pipelined loop when
     /// available).
     pub fn parallelism(&self) -> f64 {
-        let total_tiles: i64 = self.groups.iter().map(GroupConfig::parallelism).max().unwrap_or(1);
+        let total_tiles: i64 = self
+            .groups
+            .iter()
+            .map(GroupConfig::parallelism)
+            .max()
+            .unwrap_or(1);
         let ii = self
             .compiled
             .qor
@@ -55,13 +67,26 @@ pub fn auto_dse(f: &Function, opts: &CompileOptions) -> DseResult {
 pub fn auto_dse_with(f: &Function, opts: &CompileOptions, cfg: &DseConfig) -> DseResult {
     let start = Instant::now();
     let stage1 = dependence_aware_transform(f, cfg.stage1_max_iters);
-    let (scheduled, groups) = bottleneck_optimize_with(&stage1, opts, cfg);
-    let compiled = compile(&scheduled, opts);
+    let s2 = bottleneck_optimize_with(&stage1, opts, cfg);
+    let mut scheduled = s2.function;
+    let mut compiled = compile(&scheduled, opts).expect("DSE schedule compiles");
+    // Align declared IIs with what the recurrences actually allow: the
+    // estimator reports the achieved II regardless of the declared one,
+    // but the emitted pragmas (and POM001) should not promise II targets
+    // the dependences forbid.
+    let mut retargeted = false;
+    for l in &compiled.qor.loops {
+        retargeted |= scheduled.retarget_pipeline_ii(&l.iv, l.achieved_ii as i64);
+    }
+    if retargeted {
+        compiled = compile(&scheduled, opts).expect("retargeted schedule compiles");
+    }
     let dse_time: Duration = start.elapsed();
     DseResult {
         function: scheduled,
         compiled,
-        groups,
+        groups: s2.groups,
+        stats: s2.stats,
         dse_time,
     }
 }
@@ -97,7 +122,9 @@ mod tests {
         );
         let opts = CompileOptions::default();
         let r = auto_dse(&f, &opts);
-        let base = compile(&crate::baselines::unoptimized(&f), &opts).qor;
+        let base = compile(&crate::baselines::unoptimized(&f), &opts)
+            .expect("compiles")
+            .qor;
         let speedup = r.compiled.qor.speedup_over(&base);
         assert!(speedup > 10.0, "speedup {speedup}");
         assert!(r.compiled.qor.resources.dsp <= 220);

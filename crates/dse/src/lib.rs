@@ -22,7 +22,9 @@ pub mod stage1;
 pub mod stage2;
 
 pub use baselines::{pluto_like, polsca_like, scalehls_like, unoptimized, BaselineResult};
-pub use compile::{compile, CompileOptions, Compiled};
+pub use compile::{compile, lint_report, CompileError, CompileOptions, Compiled};
 pub use dse::{auto_dse, auto_dse_with, DseResult};
 pub use stage1::dependence_aware_transform;
-pub use stage2::{bottleneck_optimize, bottleneck_optimize_with, DseConfig, GroupConfig};
+pub use stage2::{
+    bottleneck_optimize, bottleneck_optimize_with, DseConfig, DseStats, GroupConfig, Stage2Result,
+};

@@ -260,8 +260,7 @@ fn const_extents(s: &StmtPoly) -> Option<Vec<(i64, i64)>> {
     let mut out = Vec::new();
     for d in s.dims() {
         let (lbs, ubs) = s.domain().bounds_of(d);
-        if lbs.iter().any(|(e, _)| !e.is_constant()) || ubs.iter().any(|(e, _)| !e.is_constant())
-        {
+        if lbs.iter().any(|(e, _)| !e.is_constant()) || ubs.iter().any(|(e, _)| !e.is_constant()) {
             return None;
         }
         let lb = lbs
@@ -271,7 +270,10 @@ fn const_extents(s: &StmtPoly) -> Option<Vec<(i64, i64)>> {
                 -((-v).div_euclid(*d))
             })
             .max()?;
-        let ub = ubs.iter().map(|(e, d)| e.eval_partial(&env).div_euclid(*d)).min()?;
+        let ub = ubs
+            .iter()
+            .map(|(e, d)| e.eval_partial(&env).div_euclid(*d))
+            .min()?;
         out.push((lb, ub));
     }
     Some(out)
@@ -376,7 +378,7 @@ mod tests {
             assert!(prof.carried[0].is_some(), "{}: outer carried", c.name());
         }
         // One shared nest in the lowered IR.
-        let compiled = compile(&g, &CompileOptions::default());
+        let compiled = compile(&g, &CompileOptions::default()).expect("compiles");
         assert_eq!(compiled.affine.body.len(), 1);
     }
 
@@ -462,8 +464,18 @@ mod tests {
         let x = f.placeholder("X", &[n], DataType::F32);
         let y = f.placeholder("Y", &[n], DataType::F32);
         let z = f.placeholder("Z", &[n], DataType::F32);
-        f.compute("S1", &[i.clone()], x.at(&[&i]) * 2.0, y.access(&[&i]));
-        f.compute("S2", &[i.clone()], y.at(&[&i]) + 1.0, z.access(&[&i]));
+        f.compute(
+            "S1",
+            std::slice::from_ref(&i),
+            x.at(&[&i]) * 2.0,
+            y.access(&[&i]),
+        );
+        f.compute(
+            "S2",
+            std::slice::from_ref(&i),
+            y.at(&[&i]) + 1.0,
+            z.access(&[&i]),
+        );
         let g = dependence_aware_transform(&f, 4);
         assert!(
             !g.schedule()
@@ -482,8 +494,18 @@ mod tests {
         let y = f.placeholder("Y", &[n], DataType::F32);
         let u = f.placeholder("U", &[n], DataType::F32);
         let v = f.placeholder("V", &[n], DataType::F32);
-        f.compute("S1", &[i.clone()], x.at(&[&i]) * 2.0, u.access(&[&i]));
-        f.compute("S2", &[i.clone()], y.at(&[&i]) * 3.0, v.access(&[&i]));
+        f.compute(
+            "S1",
+            std::slice::from_ref(&i),
+            x.at(&[&i]) * 2.0,
+            u.access(&[&i]),
+        );
+        f.compute(
+            "S2",
+            std::slice::from_ref(&i),
+            y.at(&[&i]) * 3.0,
+            v.access(&[&i]),
+        );
         let g = dependence_aware_transform(&f, 4);
         assert!(g
             .schedule()
@@ -499,7 +521,7 @@ mod tests {
         let g = dependence_aware_transform(&f, 8);
         let mut ref_mem = MemoryState::for_function_seeded(&f, 11);
         reference_execute(&f, &mut ref_mem);
-        let compiled = compile(&g, &CompileOptions::default());
+        let compiled = compile(&g, &CompileOptions::default()).expect("compiles");
         let mut ir_mem = MemoryState::for_function_seeded(&f, 11);
         execute_func(&compiled.affine, &mut ir_mem);
         for arr in ["s", "q"] {

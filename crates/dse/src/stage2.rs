@@ -10,11 +10,33 @@
 //! optimization list when it reaches maximum parallelism or the next step
 //! would exceed the device's resources (the paper's exit mechanism).
 
-use crate::compile::{apply_schedule, compile, sub_function, CompileOptions};
-use pom_dsl::{Function, PartitionStyle};
+use crate::compile::{apply_schedule, build_dep_summary, compile, sub_function, CompileOptions};
+use pom_dsl::{Function, PartitionStyle, Primitive};
 use pom_graph::DepGraph;
 use pom_poly::{DepKind, StmtPoly};
 use std::collections::{BTreeMap, HashMap};
+
+/// Counters reported by the stage-2 search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DseStats {
+    /// Escalation candidates discarded by the lint prescreen before any
+    /// estimation was paid for them.
+    pub lint_pruned: usize,
+    /// Escalation candidates that were fully estimated.
+    pub estimated: usize,
+}
+
+/// The outcome of [`bottleneck_optimize_with`]: the fully scheduled
+/// function, the final group configurations, and search statistics.
+#[derive(Clone, Debug)]
+pub struct Stage2Result {
+    /// The stage-1 function with stage-2 primitives applied.
+    pub function: Function,
+    /// Final per-group configurations.
+    pub groups: Vec<GroupConfig>,
+    /// Search counters (lint-pruned candidates etc.).
+    pub stats: DseStats,
+}
 
 /// The tiling/unrolling configuration of one node (fusion group).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,6 +67,14 @@ pub struct DseConfig {
     pub level_cap: i64,
     /// Hard cap on a node's parallelism degree (product of tiles).
     pub max_parallelism: i64,
+    /// Extend the lint prescreen to the BRAM budget (POM003). The
+    /// always-on prescreen only discards candidates that would introduce
+    /// *Error*-level diagnostics (an infeasible pipeline II); BRAM
+    /// pressure is a Warning in the lint taxonomy, so pruning on it is a
+    /// policy choice: the seed search deliberately lets partitioning
+    /// overshoot BRAM (muxing costs surface in DSP/FF/LUT), and turning
+    /// this on trades peak parallelism for memory feasibility.
+    pub lint_prune_bram: bool,
 }
 
 impl Default for DseConfig {
@@ -53,6 +83,7 @@ impl Default for DseConfig {
             stage1_max_iters: 8,
             level_cap: 16,
             max_parallelism: 256,
+            lint_prune_bram: false,
         }
     }
 }
@@ -257,11 +288,8 @@ pub fn schedule_for(base: &Function, groups: &[GroupConfig]) -> Function {
                     cur.push(d.clone());
                 }
             }
-            for target_pos in 0..final_order.len() {
-                let from_pos = cur
-                    .iter()
-                    .position(|x| *x == final_order[target_pos])
-                    .expect("name tracked");
+            for (target_pos, target) in final_order.iter().enumerate() {
+                let from_pos = cur.iter().position(|x| x == target).expect("name tracked");
                 let mut p = from_pos;
                 while p > target_pos {
                     g.interchange(member, &cur[p - 1].clone(), &cur[p].clone());
@@ -329,10 +357,7 @@ pub fn schedule_for(base: &Function, groups: &[GroupConfig]) -> Function {
 /// the total latency is the sum over groups (sequential execution) and
 /// resources compose per the sharing policy (`max` under reuse, `+` under
 /// dataflow).
-pub fn bottleneck_optimize(
-    stage1_fn: &Function,
-    opts: &CompileOptions,
-) -> (Function, Vec<GroupConfig>) {
+pub fn bottleneck_optimize(stage1_fn: &Function, opts: &CompileOptions) -> Stage2Result {
     bottleneck_optimize_with(stage1_fn, opts, &DseConfig::default())
 }
 
@@ -341,7 +366,8 @@ pub fn bottleneck_optimize_with(
     stage1_fn: &Function,
     opts: &CompileOptions,
     cfg: &DseConfig,
-) -> (Function, Vec<GroupConfig>) {
+) -> Stage2Result {
+    let mut dse_stats = DseStats::default();
     let mut groups = plan_groups(stage1_fn);
     let mut stats: Vec<(u64, pom_hls::ResourceUsage)> = groups
         .iter()
@@ -403,12 +429,31 @@ pub fn bottleneck_optimize_with(
             list.retain(|&g| g != bottleneck);
             continue;
         }
+        // Lint prescreen: discard candidates that would *introduce* a
+        // lint violation the current configuration does not have, before
+        // paying for their estimation — always for Error-level issues
+        // (an infeasible pipeline II), and for the BRAM budget when the
+        // strategy opts in (the fits check below omits BRAM).
+        if lint_screen(
+            stage1_fn,
+            &groups,
+            bottleneck,
+            &cand,
+            opts,
+            cfg.lint_prune_bram,
+        ) {
+            dse_stats.lint_pruned += 1;
+            list.retain(|&g| g != bottleneck);
+            continue;
+        }
+        dse_stats.estimated += 1;
         let (l2, r2) = group_compile(stage1_fn, &cand, opts);
         let mut cand_stats = stats.clone();
         cand_stats[bottleneck] = (l2, r2);
         let total = compose(&cand_stats);
-        let fits =
-            total.dsp <= opts.device.dsp && total.ff <= opts.device.ff && total.lut <= opts.device.lut;
+        let fits = total.dsp <= opts.device.dsp
+            && total.ff <= opts.device.ff
+            && total.lut <= opts.device.lut;
         if fits && l2 <= stats[bottleneck].0 {
             groups[bottleneck] = cand;
             stats[bottleneck] = (l2, r2);
@@ -422,7 +467,9 @@ pub fn bottleneck_optimize_with(
     // the full design). Re-estimate the complete function and, while it
     // exceeds the device, walk back the most parallel group one step.
     loop {
-        let full = compile(&schedule_for(stage1_fn, &groups), opts).qor;
+        let full = compile(&schedule_for(stage1_fn, &groups), opts)
+            .expect("stage-2 schedule compiles")
+            .qor;
         let fits = full.resources.dsp <= opts.device.dsp
             && full.resources.ff <= opts.device.ff
             && full.resources.lut <= opts.device.lut;
@@ -444,7 +491,87 @@ pub fn bottleneck_optimize_with(
             .expect("non-empty tiles");
         g.tiles[widest] = (g.tiles[widest] / 2).max(1);
     }
-    (schedule_for(stage1_fn, &groups), groups)
+    Stage2Result {
+        function: schedule_for(stage1_fn, &groups),
+        groups,
+        stats: dse_stats,
+    }
+}
+
+/// True when swapping `cand` in for group `bottleneck` would introduce a
+/// lint violation the current configuration does not have. Both checks
+/// run on the *schedule* alone — no lowering or estimation. Shared with
+/// the baseline strategies: legality screening is part of the substrate,
+/// not of any one search. `prune_bram` additionally screens the POM003
+/// BRAM budget (a Warning, hence opt-in — see [`DseConfig`]).
+pub(crate) fn lint_screen(
+    stage1_fn: &Function,
+    groups: &[GroupConfig],
+    bottleneck: usize,
+    cand: &GroupConfig,
+    opts: &CompileOptions,
+    prune_bram: bool,
+) -> bool {
+    let mut cand_groups = groups.to_vec();
+    cand_groups[bottleneck] = cand.clone();
+
+    // POM003: the candidate's partitioning blows the BRAM budget (the
+    // per-group fits check only tracks DSP/FF/LUT).
+    if prune_bram {
+        let cur_bram = bram_of(&schedule_for(stage1_fn, groups));
+        let cand_bram = bram_of(&schedule_for(stage1_fn, &cand_groups));
+        if cur_bram <= opts.device.bram18k && cand_bram > opts.device.bram18k {
+            return true;
+        }
+    }
+
+    // POM001: the candidate's pipelined loop carries a dependence its
+    // declared II cannot honour.
+    if !pipeline_infeasible(stage1_fn, &groups[bottleneck], opts)
+        && pipeline_infeasible(stage1_fn, cand, opts)
+    {
+        return true;
+    }
+    false
+}
+
+/// The BRAM18K units a scheduled function's arrays map to, mirroring the
+/// estimator's (and POM003's) accounting.
+fn bram_of(f: &Function) -> u64 {
+    let mut banks: BTreeMap<&str, u64> = BTreeMap::new();
+    for p in f.schedule() {
+        if let Primitive::Partition { array, factors, .. } = p {
+            let b: i64 = factors.iter().product();
+            banks.insert(array, b.max(1) as u64);
+        }
+    }
+    let mut bram = 0u64;
+    for p in f.placeholders() {
+        let b = banks.get(p.name()).copied().unwrap_or(1);
+        let bits = p.shape().iter().product::<usize>() as u64 * p.dtype().bits() as u64;
+        let per_bank_bits = bits.div_ceil(b);
+        bram += b * per_bank_bits.div_ceil(18 * 1024).max(1);
+    }
+    bram
+}
+
+/// True when the group's schedule declares a pipeline II below the
+/// recurrence MII of a dependence carried at the pipelined loop.
+fn pipeline_infeasible(base: &Function, group: &GroupConfig, opts: &CompileOptions) -> bool {
+    let members: Vec<&str> = group.members.iter().map(String::as_str).collect();
+    let sub = sub_function(base, &members);
+    let scheduled = schedule_for(&sub, std::slice::from_ref(group));
+    let stmts = apply_schedule(&scheduled);
+    let deps = build_dep_summary(&scheduled, &stmts, &opts.model);
+    scheduled.schedule().iter().any(|p| {
+        if let Primitive::Pipeline { loop_iv, ii, .. } = p {
+            deps.carried_at(loop_iv)
+                .map(|d| d.chain_latency.div_ceil(d.distance.max(1)).max(1) > (*ii).max(1) as u64)
+                .unwrap_or(false)
+        } else {
+            false
+        }
+    })
 }
 
 /// Compiles one group as a sub-function with its configuration applied.
@@ -456,7 +583,9 @@ pub fn group_compile(
     let members: Vec<&str> = group.members.iter().map(String::as_str).collect();
     let sub = sub_function(base, &members);
     let scheduled = schedule_for(&sub, std::slice::from_ref(group));
-    let q = compile(&scheduled, opts).qor;
+    let q = compile(&scheduled, opts)
+        .expect("group schedule compiles")
+        .qor;
     (q.latency, q.resources)
 }
 
@@ -538,18 +667,27 @@ mod tests {
         let f = gemm(64);
         let stage1 = dependence_aware_transform(&f, 8);
         let opts = CompileOptions::default();
-        let (optimized, groups) = bottleneck_optimize(&stage1, &opts);
+        let r = bottleneck_optimize(&stage1, &opts);
+        let (optimized, groups) = (r.function, r.groups);
         let para: i64 = groups[0].parallelism();
         assert_eq!(para, 32, "tiles {:?}", groups[0].tiles);
-        let q = compile(&optimized, &opts).qor;
+        let q = compile(&optimized, &opts).expect("compiles").qor;
         assert!(q.resources.dsp <= 220);
         assert!(q.resources.dsp >= 120, "got {}", q.resources.dsp);
         // Pipelined loop achieves a small II.
         assert!(!q.loops.is_empty());
-        assert!(q.loops[0].achieved_ii <= 2, "II = {}", q.loops[0].achieved_ii);
+        assert!(
+            q.loops[0].achieved_ii <= 2,
+            "II = {}",
+            q.loops[0].achieved_ii
+        );
         // And it crushes the baseline.
-        let base = compile(&f, &opts).qor;
-        assert!(q.speedup_over(&base) > 50.0, "speedup {}", q.speedup_over(&base));
+        let base = compile(&f, &opts).expect("compiles").qor;
+        assert!(
+            q.speedup_over(&base) > 50.0,
+            "speedup {}",
+            q.speedup_over(&base)
+        );
     }
 
     #[test]
@@ -558,10 +696,68 @@ mod tests {
         let stage1 = dependence_aware_transform(&f, 8);
         let mut opts = CompileOptions::default();
         opts.device = opts.device.scaled_to(50); // 110 DSPs
-        let (optimized, groups) = bottleneck_optimize(&stage1, &opts);
-        let q = compile(&optimized, &opts).qor;
+        let r = bottleneck_optimize(&stage1, &opts);
+        let (optimized, groups) = (r.function, r.groups);
+        let q = compile(&optimized, &opts).expect("compiles").qor;
         assert!(q.resources.dsp <= 110);
         assert!(groups[0].parallelism() <= 16);
+    }
+
+    #[test]
+    fn lint_prescreen_prunes_bram_busting_candidates() {
+        // BICG at N = 256: stage 1 split-interchange-merges the two
+        // statements, so the merged nest accesses A in both orientations
+        // and escalating the shared parallel loop to 16 would partition A
+        // (16, 16) = 256 banks — 290 BRAM18K on a 280-unit device. With
+        // the opt-in BRAM prescreen the candidate is pruned before
+        // estimation and the search settles on a memory-feasible design.
+        let n = 256usize;
+        let mut f = Function::new("bicg");
+        let i = f.var("i", 0, n as i64);
+        let j = f.var("j", 0, n as i64);
+        let a = f.placeholder("A", &[n, n], DataType::F32);
+        let r = f.placeholder("r", &[n], DataType::F32);
+        let s = f.placeholder("s", &[n], DataType::F32);
+        let p = f.placeholder("p", &[n], DataType::F32);
+        let q = f.placeholder("q", &[n], DataType::F32);
+        f.compute(
+            "S1",
+            &[i.clone(), j.clone()],
+            s.at(&[&j]) + r.at(&[&i]) * a.at(&[&i, &j]),
+            s.access(&[&j]),
+        );
+        f.compute(
+            "S2",
+            &[i.clone(), j.clone()],
+            q.at(&[&i]) + a.at(&[&i, &j]) * p.at(&[&j]),
+            q.access(&[&i]),
+        );
+        let opts = CompileOptions::default();
+        let stage1 = dependence_aware_transform(&f, 8);
+        let cfg = DseConfig {
+            lint_prune_bram: true,
+            ..DseConfig::default()
+        };
+        let r = bottleneck_optimize_with(&stage1, &opts, &cfg);
+        assert!(r.stats.lint_pruned > 0, "stats {:?}", r.stats);
+        assert!(r.stats.estimated > 0, "stats {:?}", r.stats);
+        let q = compile(&r.function, &opts).expect("compiles").qor;
+        assert!(
+            q.resources.bram18k <= opts.device.bram18k,
+            "BRAM {} over budget {}",
+            q.resources.bram18k,
+            opts.device.bram18k
+        );
+
+        // The default strategy keeps the seed behavior: no BRAM pruning,
+        // higher parallelism, BRAM overshoot tolerated (POM003 reports it
+        // as a Warning downstream).
+        let default_r = bottleneck_optimize(&stage1, &opts);
+        assert_eq!(
+            default_r.stats.lint_pruned, 0,
+            "stats {:?}",
+            default_r.stats
+        );
     }
 
     #[test]
@@ -591,7 +787,7 @@ mod tests {
         );
         let stage1 = dependence_aware_transform(&f, 8);
         let opts = CompileOptions::default();
-        let (_, groups) = bottleneck_optimize(&stage1, &opts);
+        let groups = bottleneck_optimize(&stage1, &opts).groups;
         assert_eq!(groups.len(), 2);
         assert!(
             groups[0].parallelism() >= 8 && groups[1].parallelism() >= 8,

@@ -108,6 +108,29 @@ impl Function {
         self.schedule.clear();
     }
 
+    /// Raises the declared target II of every recorded `pipeline`
+    /// primitive on `loop_iv` to at least `ii`, returning whether any
+    /// primitive changed. The DSE engine uses this to align declared IIs
+    /// with achieved ones, so the emitted pragmas (and `pom-lint`'s
+    /// feasibility check) reflect what the recurrence actually allows.
+    pub fn retarget_pipeline_ii(&mut self, loop_iv: &str, ii: i64) -> bool {
+        let mut changed = false;
+        for p in &mut self.schedule {
+            if let Primitive::Pipeline {
+                loop_iv: lv,
+                ii: target,
+                ..
+            } = p
+            {
+                if lv == loop_iv && *target < ii {
+                    *target = ii;
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
     /// Records an arbitrary primitive.
     pub fn record(&mut self, p: Primitive) -> &mut Self {
         if let Some(stmt) = p.stmt() {
@@ -319,7 +342,10 @@ mod tests {
         f.partition("A", &[4, 4], PartitionStyle::Cyclic);
         assert_eq!(f.schedule().len(), 5);
         assert_eq!(
-            f.schedule().iter().filter(|p| p.is_loop_transformation()).count(),
+            f.schedule()
+                .iter()
+                .filter(|p| p.is_loop_transformation())
+                .count(),
             1
         );
         assert_eq!(
@@ -352,7 +378,12 @@ mod tests {
         let mut f = gemm();
         let i = f.var("i", 0, 4);
         let a = f.find_placeholder("A").unwrap().clone();
-        f.compute("s", &[i.clone()], a.at(&[&i, &i]), a.access(&[&i, &i]));
+        f.compute(
+            "s",
+            std::slice::from_ref(&i),
+            a.at(&[&i, &i]),
+            a.access(&[&i, &i]),
+        );
     }
 
     #[test]
@@ -361,7 +392,12 @@ mod tests {
         let mut f = Function::new("f");
         let i = f.var("i", 0, 4);
         let ghost = Placeholder::new("G", &[4], DataType::F32);
-        f.compute("s", &[i.clone()], ghost.at(&[&i]), ghost.access(&[&i]));
+        f.compute(
+            "s",
+            std::slice::from_ref(&i),
+            ghost.at(&[&i]),
+            ghost.access(&[&i]),
+        );
     }
 
     #[test]

@@ -287,8 +287,9 @@ mod tests {
         let ip1 = i.expr() + 1;
         f.compute(
             "s",
-            &[i.clone()],
-            (a.at(&[im1.clone()]) + a.at(&[&i]) + a.at(&[ip1.clone()])) / 3.0,
+            std::slice::from_ref(&i),
+            (a.at(std::slice::from_ref(&im1)) + a.at(&[&i]) + a.at(std::slice::from_ref(&ip1)))
+                / 3.0,
             b.access(&[&i]),
         );
         let mut mem = MemoryState::new();
@@ -307,7 +308,12 @@ mod tests {
         let mut f = Function::new("f");
         let i = f.var("i", 0, 4);
         let a = f.placeholder("A", &[4], DataType::F32);
-        f.compute("s", &[i.clone()], a.at(&[&i]) * 2.0, a.access(&[&i]));
+        f.compute(
+            "s",
+            std::slice::from_ref(&i),
+            a.at(&[&i]) * 2.0,
+            a.access(&[&i]),
+        );
         let m1 = MemoryState::for_function_seeded(&f, 42);
         let m2 = MemoryState::for_function_seeded(&f, 42);
         let m3 = MemoryState::for_function_seeded(&f, 43);

@@ -194,7 +194,10 @@ impl fmt::Display for Primitive {
                 j0,
                 i1,
                 j1,
-            } => write!(f, "{stmt}.tile({i}, {j}, {t1}, {t2}, {i0}, {j0}, {i1}, {j1})"),
+            } => write!(
+                f,
+                "{stmt}.tile({i}, {j}, {t1}, {t2}, {i0}, {j0}, {i1}, {j1})"
+            ),
             Primitive::Skew {
                 stmt,
                 i,

@@ -327,15 +327,18 @@ mod tests {
         f.compute(
             "s",
             &[i.clone(), j.clone()],
-            (a.at(&[im1.clone(), j.expr()]) + a.at(&[i.expr(), jm1.clone()])
-                + a.at(&[&i, &j]))
+            (a.at(&[im1.clone(), j.expr()]) + a.at(&[i.expr(), jm1.clone()]) + a.at(&[&i, &j]))
                 / 3.0,
             a.access(&[&i, &j]),
         );
         let an = NodeAnalysis::of(f.find_compute("s").unwrap());
         assert_eq!(an.carried_by_level, vec![Some(1), Some(1)]);
         match &an.hint {
-            Hint::Skew { outer, inner, factor } => {
+            Hint::Skew {
+                outer,
+                inner,
+                factor,
+            } => {
                 assert_eq!(outer, "i");
                 assert_eq!(inner, "j");
                 assert_eq!(*factor, 1);
@@ -377,7 +380,12 @@ mod tests {
         let i = f.var("i", 0, 16);
         let a = f.placeholder("A", &[16], DataType::F32);
         let b = f.placeholder("B", &[16], DataType::F32);
-        f.compute("s", &[i.clone()], a.at(&[&i]) * 2.0, b.access(&[&i]));
+        f.compute(
+            "s",
+            std::slice::from_ref(&i),
+            a.at(&[&i]) * 2.0,
+            b.access(&[&i]),
+        );
         let an = NodeAnalysis::of(f.find_compute("s").unwrap());
         assert!(!an.has_carried_dependence());
         assert_eq!(an.hint, Hint::KeepOrder);

@@ -282,7 +282,10 @@ mod tests {
         assert_eq!(s2.loads, vec!["A".to_string(), "B".to_string()]);
         assert_eq!(s2.store, "B");
         let s4 = g.node("S4").unwrap();
-        assert_eq!(s4.loads, vec!["D".to_string(), "B".to_string(), "C".to_string()]);
+        assert_eq!(
+            s4.loads,
+            vec!["D".to_string(), "B".to_string(), "C".to_string()]
+        );
         assert_eq!(s4.store, "D");
     }
 
@@ -302,11 +305,7 @@ mod tests {
     #[test]
     fn fig8_data_paths() {
         let g = DepGraph::build(&fig8_function());
-        let paths: Vec<Vec<&str>> = g
-            .data_paths()
-            .iter()
-            .map(|p| g.path_names(p))
-            .collect();
+        let paths: Vec<Vec<&str>> = g.data_paths().iter().map(|p| g.path_names(p)).collect();
         // Paper: Path 1 = S1-S2-S4, Path 2 = S1-S3-S4.
         assert!(paths.contains(&vec!["S1", "S2", "S4"]));
         assert!(paths.contains(&vec!["S1", "S3", "S4"]));
@@ -331,8 +330,18 @@ mod tests {
         let b = f.placeholder("B", &[4], DataType::F32);
         let c = f.placeholder("C", &[4], DataType::F32);
         let d = f.placeholder("D", &[4], DataType::F32);
-        f.compute("S1", &[i.clone()], a.at(&[&i]) * 2.0, b.access(&[&i]));
-        f.compute("S2", &[i.clone()], c.at(&[&i]) * 3.0, d.access(&[&i]));
+        f.compute(
+            "S1",
+            std::slice::from_ref(&i),
+            a.at(&[&i]) * 2.0,
+            b.access(&[&i]),
+        );
+        f.compute(
+            "S2",
+            std::slice::from_ref(&i),
+            c.at(&[&i]) * 3.0,
+            d.access(&[&i]),
+        );
         let g = DepGraph::build(&f);
         assert!(g.edges().is_empty());
         assert_eq!(g.data_paths().len(), 2);
@@ -345,8 +354,18 @@ mod tests {
         let i = f.var("i", 0, 4);
         let x = f.placeholder("X", &[4], DataType::F32);
         let y = f.placeholder("Y", &[4], DataType::F32);
-        f.compute("S1", &[i.clone()], x.at(&[&i]) * 2.0, y.access(&[&i]));
-        f.compute("S2", &[i.clone()], y.at(&[&i]) + 1.0, x.access(&[&i]));
+        f.compute(
+            "S1",
+            std::slice::from_ref(&i),
+            x.at(&[&i]) * 2.0,
+            y.access(&[&i]),
+        );
+        f.compute(
+            "S2",
+            std::slice::from_ref(&i),
+            y.at(&[&i]) + 1.0,
+            x.access(&[&i]),
+        );
         let g = DepGraph::build(&f);
         // S1 -> S2 via flow on Y (and anti on X collapses to one edge since
         // the flow edge is found first).

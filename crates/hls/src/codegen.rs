@@ -150,18 +150,17 @@ fn bounds_c(bs: &[Bound], lower: bool) -> String {
 }
 
 fn expr_c(e: &LinearExpr) -> String {
-    let s = e.to_string();
-    if s.contains('*') || s.contains('+') || s.contains('-') {
-        s
-    } else {
-        s
-    }
+    e.to_string()
 }
 
 fn value_c(e: &Expr) -> String {
     match e {
         Expr::Load(a) => {
-            let idx: Vec<String> = a.indices.iter().map(|x| format!("[{}]", expr_c(x))).collect();
+            let idx: Vec<String> = a
+                .indices
+                .iter()
+                .map(|x| format!("[{}]", expr_c(x)))
+                .collect();
             format!("{}{}", a.array, idx.join(""))
         }
         Expr::Affine(x) => format!("({})", expr_c(x)),

@@ -50,8 +50,7 @@ impl DepSummary {
     pub fn insert(&mut self, iv: impl Into<String>, dep: CarriedDep) {
         let iv = iv.into();
         match self.carried.get(&iv) {
-            Some(cur)
-                if cur.chain_latency * dep.distance >= dep.chain_latency * cur.distance => {}
+            Some(cur) if cur.chain_latency * dep.distance >= dep.chain_latency * cur.distance => {}
             _ => {
                 self.carried.insert(iv, dep);
             }
@@ -145,12 +144,7 @@ impl QoR {
 }
 
 /// Estimates the QoR of an annotated affine function.
-pub fn estimate(
-    func: &AffineFunc,
-    deps: &DepSummary,
-    model: &CostModel,
-    sharing: Sharing,
-) -> QoR {
+pub fn estimate(func: &AffineFunc, deps: &DepSummary, model: &CostModel, sharing: Sharing) -> QoR {
     let banks: HashMap<String, u64> = func
         .memrefs
         .iter()
@@ -231,12 +225,7 @@ impl Estimator<'_> {
     }
 
     fn loop_range(&self, l: &ForOp, env: &HashMap<String, i64>) -> (i64, i64) {
-        let lb = l
-            .lbs
-            .iter()
-            .map(|b| b.eval_lower(env))
-            .max()
-            .unwrap_or(0);
+        let lb = l.lbs.iter().map(|b| b.eval_lower(env)).max().unwrap_or(0);
         let ub = l.ubs.iter().map(|b| b.eval_upper(env)).min().unwrap_or(lb);
         (lb, ub.max(lb))
     }
@@ -466,7 +455,8 @@ mod tests {
         // for i in 0..n: acc[0] = acc[0] + x[i]
         let mut f = AffineFunc::new("acc");
         f.memrefs.push(MemRefDecl::new("acc", &[1], DataType::F32));
-        f.memrefs.push(MemRefDecl::new("x", &[n as usize], DataType::F32));
+        f.memrefs
+            .push(MemRefDecl::new("x", &[n as usize], DataType::F32));
         let body = pom_dsl::Expr::Load(AccessFn::new("acc", vec![LinearExpr::zero()]))
             + pom_dsl::Expr::Load(AccessFn::new("x", vec![LinearExpr::var("i")]));
         f.body.push(AffineOp::For(ForOp {
@@ -605,7 +595,8 @@ mod tests {
         let m = CostModel::vitis_f32();
         let mut f = AffineFunc::new("f");
         f.memrefs.push(MemRefDecl::new("a", &[64], DataType::F32));
-        f.memrefs.push(MemRefDecl::new("x", &[64, 8], DataType::F32));
+        f.memrefs
+            .push(MemRefDecl::new("x", &[64, 8], DataType::F32));
         f.memref_mut("x").unwrap().partition = Some(PartitionInfo {
             factors: vec![1, 8],
             style: PartitionStyle::Cyclic,
@@ -651,7 +642,10 @@ mod tests {
         // registered (one effective read + write per pipeline iteration),
         // so ports do not throttle the II.
         assert_eq!(q.loops[0].achieved_ii, 1);
-        assert!(q.loops[0].depth >= 16, "reduction tree in the pipeline depth");
+        assert!(
+            q.loops[0].depth >= 16,
+            "reduction tree in the pipeline depth"
+        );
     }
 
     #[test]

@@ -107,10 +107,26 @@ impl SynthesisReport {
         let _ = writeln!(out, "-- Utilization estimate --");
         let r = &self.qor.resources;
         let (dsp, ff, lut, bram) = r.utilization(&self.device);
-        let _ = writeln!(out, "{:<10} {:>10} {:>12} {:>8}", "Resource", "Used", "Available", "Util%");
-        let _ = writeln!(out, "{:<10} {:>10} {:>12} {:>7.0}%", "DSP48", r.dsp, self.device.dsp, dsp);
-        let _ = writeln!(out, "{:<10} {:>10} {:>12} {:>7.0}%", "FF", r.ff, self.device.ff, ff);
-        let _ = writeln!(out, "{:<10} {:>10} {:>12} {:>7.0}%", "LUT", r.lut, self.device.lut, lut);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>12} {:>8}",
+            "Resource", "Used", "Available", "Util%"
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>12} {:>7.0}%",
+            "DSP48", r.dsp, self.device.dsp, dsp
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>12} {:>7.0}%",
+            "FF", r.ff, self.device.ff, ff
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>12} {:>7.0}%",
+            "LUT", r.lut, self.device.lut, lut
+        );
         let _ = writeln!(
             out,
             "{:<10} {:>10} {:>12} {:>7.0}%",

@@ -40,7 +40,13 @@ pub fn emit_testbench(func: &AffineFunc, seed: u64) -> String {
     let _ = writeln!(out, "int main(void) {{");
     for m in &func.memrefs {
         let dims: Vec<String> = m.shape.iter().map(|d| format!("[{d}]")).collect();
-        let _ = writeln!(out, "  static {} {}{};", m.dtype.c_name(), m.name, dims.join(""));
+        let _ = writeln!(
+            out,
+            "  static {} {}{};",
+            m.dtype.c_name(),
+            m.name,
+            dims.join("")
+        );
     }
     for m in &func.memrefs {
         let salt: u64 = m.name.bytes().map(u64::from).sum();

@@ -27,7 +27,9 @@ pub use attrs::{HlsAttrs, MemRefDecl, PartitionInfo};
 pub use interp::execute_func;
 pub use lower::{lower_to_affine, StmtBody};
 pub use ops::{AffineFunc, AffineOp, ForOp, IfOp, StoreOp};
-pub use passes::{CollapseUnitLoops, MaterializeUnroll, Pass, PassManager, SimplifyBounds};
+pub use passes::{
+    CollapseUnitLoops, LintHook, MaterializeUnroll, Pass, PassIssue, PassManager, SimplifyBounds,
+};
 pub use verify::{verify, VerifyError};
 
 /// Floor division toward negative infinity.

@@ -119,9 +119,7 @@ mod tests {
 
     fn gemm_body() -> StmtBody {
         // A[i][j] += B[i][k] * C[k][j]
-        let load = |a: &str, x: LinearExpr, y: LinearExpr| {
-            Expr::Load(AccessFn::new(a, vec![x, y]))
-        };
+        let load = |a: &str, x: LinearExpr, y: LinearExpr| Expr::Load(AccessFn::new(a, vec![x, y]));
         let i = LinearExpr::var("i");
         let j = LinearExpr::var("j");
         let k = LinearExpr::var("k");

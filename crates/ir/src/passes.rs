@@ -16,6 +16,7 @@ use crate::ops::{AffineFunc, AffineOp};
 use crate::verify::{verify, VerifyError};
 use pom_poly::{Bound, LinearExpr};
 use std::collections::HashMap;
+use std::fmt;
 
 /// An IR rewrite.
 pub trait Pass {
@@ -25,11 +26,36 @@ pub trait Pass {
     fn run(&self, func: &mut AffineFunc);
 }
 
+/// Why a pipeline stopped: a structural invariant broke, or an attached
+/// lint hook rejected the function.
+#[derive(Debug)]
+pub enum PassIssue {
+    /// The verifier found the IR structurally invalid.
+    Verify(VerifyError),
+    /// The lint hook reported error-severity diagnostics (rendered).
+    Lint(String),
+}
+
+impl fmt::Display for PassIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassIssue::Verify(e) => write!(f, "{e}"),
+            PassIssue::Lint(msg) => write!(f, "lint errors:\n{msg}"),
+        }
+    }
+}
+
+/// A semantic check the pipeline runs alongside structural verification —
+/// in practice `pom-lint`'s error-severity diagnostics. A hook rather
+/// than a direct dependency: the lint crate sits *above* the IR crate.
+pub type LintHook = Box<dyn Fn(&AffineFunc) -> Result<(), String>>;
+
 /// Runs a sequence of passes, optionally verifying after each.
 #[derive(Default)]
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
     verify_each: bool,
+    lint: Option<LintHook>,
 }
 
 impl PassManager {
@@ -44,7 +70,16 @@ impl PassManager {
         self
     }
 
+    /// Attaches a lint hook, run after every pass (after verification)
+    /// and once on the final function even when the pipeline is empty.
+    /// An `Err` aborts the pipeline, naming the offending pass.
+    pub fn lint_each(mut self, hook: LintHook) -> Self {
+        self.lint = Some(hook);
+        self
+    }
+
     /// Appends a pass.
+    #[allow(clippy::should_implement_trait)] // builder method, not arithmetic
     pub fn add(mut self, pass: impl Pass + 'static) -> Self {
         self.passes.push(Box::new(pass));
         self
@@ -62,13 +97,22 @@ impl PassManager {
     ///
     /// # Errors
     ///
-    /// Returns the failing pass name and the verification error when
-    /// `verify_each` is enabled and a pass breaks an invariant.
-    pub fn run(&self, func: &mut AffineFunc) -> Result<(), (String, VerifyError)> {
+    /// Returns the failing pass name and the issue when `verify_each` is
+    /// enabled and a pass breaks an invariant, or when the `lint_each`
+    /// hook rejects the function.
+    pub fn run(&self, func: &mut AffineFunc) -> Result<(), (String, PassIssue)> {
         for p in &self.passes {
             p.run(func);
             if self.verify_each {
-                verify(func).map_err(|e| (p.name().to_string(), e))?;
+                verify(func).map_err(|e| (p.name().to_string(), PassIssue::Verify(e)))?;
+            }
+            if let Some(hook) = &self.lint {
+                hook(func).map_err(|m| (p.name().to_string(), PassIssue::Lint(m)))?;
+            }
+        }
+        if self.passes.is_empty() {
+            if let Some(hook) = &self.lint {
+                hook(func).map_err(|m| ("<entry>".to_string(), PassIssue::Lint(m)))?;
             }
         }
         Ok(())
@@ -106,9 +150,15 @@ fn bound_interval(
 ) -> Option<(i64, i64)> {
     let (lo, hi) = expr_interval(&b.expr, ranges)?;
     Some(if lower {
-        (crate::ceil_div_i64(lo, b.div), crate::ceil_div_i64(hi, b.div))
+        (
+            crate::ceil_div_i64(lo, b.div),
+            crate::ceil_div_i64(hi, b.div),
+        )
     } else {
-        (crate::floor_div_i64(lo, b.div), crate::floor_div_i64(hi, b.div))
+        (
+            crate::floor_div_i64(lo, b.div),
+            crate::floor_div_i64(hi, b.div),
+        )
     })
 }
 
@@ -116,8 +166,10 @@ fn prune_bounds(bs: &mut Vec<Bound>, lower: bool, ranges: &HashMap<String, (i64,
     if bs.len() <= 1 {
         return;
     }
-    let intervals: Vec<Option<(i64, i64)>> =
-        bs.iter().map(|b| bound_interval(b, lower, ranges)).collect();
+    let intervals: Vec<Option<(i64, i64)>> = bs
+        .iter()
+        .map(|b| bound_interval(b, lower, ranges))
+        .collect();
     let mut keep = vec![true; bs.len()];
     for i in 0..bs.len() {
         if !keep[i] {
@@ -465,7 +517,10 @@ mod tests {
             body: vec![AffineOp::Store(store)],
         };
         f.body.push(AffineOp::For(inner));
-        PassManager::new().add(MaterializeUnroll).run(&mut f).unwrap();
+        PassManager::new()
+            .add(MaterializeUnroll)
+            .run(&mut f)
+            .unwrap();
         assert!(matches!(f.body[0], AffineOp::For(_)), "factor < trip kept");
     }
 

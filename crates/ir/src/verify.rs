@@ -20,14 +20,34 @@ impl std::error::Error for VerifyError {}
 ///
 /// * induction variables are unique along every nesting path,
 /// * bound and condition expressions only reference in-scope ivs,
-/// * loads/stores target declared memrefs with matching rank,
+/// * loads/stores target declared memrefs with matching rank — including
+///   loads nested inside `affine.if` bodies,
 /// * store index expressions only reference in-scope ivs,
-/// * HLS attributes are sane (II >= 1, unroll factor >= 1).
+/// * HLS attributes are sane (II >= 1, unroll factor >= 1),
+/// * array partitions are sane (one factor per dimension, factors >= 1).
 ///
 /// # Errors
 ///
 /// Returns the first violation found.
 pub fn verify(func: &AffineFunc) -> Result<(), VerifyError> {
+    for m in &func.memrefs {
+        if let Some(p) = &m.partition {
+            if p.factors.len() != m.shape.len() {
+                return Err(VerifyError(format!(
+                    "memref {} has rank {}, partition has {} factors",
+                    m.name,
+                    m.shape.len(),
+                    p.factors.len()
+                )));
+            }
+            if let Some(f) = p.factors.iter().find(|&&f| f < 1) {
+                return Err(VerifyError(format!(
+                    "memref {} has non-positive partition factor {f}",
+                    m.name
+                )));
+            }
+        }
+    }
     let memrefs: HashSet<&str> = func.memrefs.iter().map(|m| m.name.as_str()).collect();
     let mut scope: Vec<String> = Vec::new();
     verify_ops(func, &func.body, &mut scope, &memrefs)
@@ -57,7 +77,7 @@ fn verify_ops(
     for op in ops {
         match op {
             AffineOp::For(l) => {
-                if scope.iter().any(|s| *s == l.iv) {
+                if scope.contains(&l.iv) {
                     return Err(VerifyError(format!(
                         "induction variable {} shadows an enclosing loop",
                         l.iv
@@ -192,10 +212,7 @@ mod tests {
         let mut f = valid_func();
         if let AffineOp::For(l) = &mut f.body[0] {
             if let AffineOp::Store(s) = &mut l.body[0] {
-                s.dest = AccessFn::new(
-                    "A",
-                    vec![LinearExpr::var("i"), LinearExpr::var("i")],
-                );
+                s.dest = AccessFn::new("A", vec![LinearExpr::var("i"), LinearExpr::var("i")]);
             }
         }
         let err = verify(&f).unwrap_err();
@@ -230,6 +247,51 @@ mod tests {
         f.set_unroll("i", -2);
         let err = verify(&f).unwrap_err();
         assert!(err.0.contains("unroll factor -2"));
+    }
+
+    #[test]
+    fn rank_mismatched_load_inside_if_fails() {
+        // for i { if (i >= 1) { A[i] = A[i][i] + 1 } } — the offending
+        // access is a *load* nested inside an `affine.if` body.
+        let mut f = valid_func();
+        if let AffineOp::For(l) = &mut f.body[0] {
+            let body = std::mem::take(&mut l.body);
+            let mut guarded = body;
+            if let AffineOp::Store(s) = &mut guarded[0] {
+                s.value = Expr::Load(AccessFn::new(
+                    "A",
+                    vec![LinearExpr::var("i"), LinearExpr::var("i")],
+                )) + 1.0;
+            }
+            l.body = vec![AffineOp::If(crate::ops::IfOp {
+                conds: vec![pom_poly::Constraint::ge_zero(
+                    LinearExpr::var("i") - LinearExpr::constant_expr(1),
+                )],
+                body: guarded,
+            })];
+        }
+        let err = verify(&f).unwrap_err();
+        assert!(err.0.contains("rank 1"), "{}", err.0);
+        assert!(err.0.contains("2 indices"), "{}", err.0);
+    }
+
+    #[test]
+    fn bad_partition_fails() {
+        let mut f = valid_func();
+        f.memrefs[0].partition = Some(crate::attrs::PartitionInfo {
+            factors: vec![2, 2],
+            style: pom_dsl::PartitionStyle::Cyclic,
+        });
+        let err = verify(&f).unwrap_err();
+        assert!(err.0.contains("partition has 2 factors"), "{}", err.0);
+
+        let mut f = valid_func();
+        f.memrefs[0].partition = Some(crate::attrs::PartitionInfo {
+            factors: vec![0],
+            style: pom_dsl::PartitionStyle::Block,
+        });
+        let err = verify(&f).unwrap_err();
+        assert!(err.0.contains("non-positive partition factor"), "{}", err.0);
     }
 
     #[test]

@@ -1,0 +1,921 @@
+//! The five shipped lint analyses (POM001–POM005).
+
+use crate::context::{walk_loops, walk_stores, LintContext};
+use crate::{Analysis, Diagnostic, LintCode, Location};
+use pom_dsl::Compute;
+use pom_ir::AffineOp;
+use pom_poly::{fm, AccessFn, Constraint, DepKind, DependenceAnalysis, LinearExpr, StmtPoly};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn path_ivs(path: &[crate::context::LoopFrame]) -> Vec<String> {
+    path.iter().map(|f| f.iv.clone()).collect()
+}
+
+/// POM001: a declared `pipeline_ii` must be at least the recurrence MII
+/// of any dependence carried at that loop — `ceil(chain / distance)`, the
+/// same bound the estimator enforces (paper Section VI-A).
+pub struct IiFeasibility;
+
+impl Analysis for IiFeasibility {
+    fn name(&self) -> &'static str {
+        "ii-feasibility"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        walk_loops(cx.func, &mut |l, path| {
+            let Some(ii) = l.attrs.pipeline_ii else {
+                return;
+            };
+            let Some(dep) = cx.deps.carried_at(&l.iv) else {
+                return;
+            };
+            let rec_mii = dep.chain_latency.div_ceil(dep.distance.max(1)).max(1);
+            if (ii.max(1) as u64) < rec_mii {
+                out.push(
+                    Diagnostic::new(
+                        LintCode::IiInfeasible,
+                        Location::in_loops(&cx.func.name, &path_ivs(path)),
+                        format!(
+                            "loop %{} declares pipeline II = {ii}, but the dependence on \
+                             `{}` carried at this loop (distance {}, chain latency {}) \
+                             forces II >= {rec_mii}",
+                            l.iv, dep.array, dep.distance, dep.chain_latency
+                        ),
+                    )
+                    .with_suggestion(format!(
+                        "declare pipeline II >= {rec_mii} on %{}, or lengthen the carried \
+                         distance with a loop transformation (split/interchange/skew)",
+                        l.iv
+                    )),
+                );
+            }
+        });
+    }
+}
+
+/// POM002: every affine access must stay inside its memref's shape for
+/// all points of the governing domain (loop bounds plus `if` guards),
+/// proven by Fourier–Motzkin projection (paper Section V-B).
+pub struct BoundsCheck;
+
+impl Analysis for BoundsCheck {
+    fn name(&self) -> &'static str {
+        "bounds-check"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let mut reported: BTreeSet<(String, String, usize, bool)> = BTreeSet::new();
+        walk_stores(cx.func, &mut |site| {
+            let mut accesses: Vec<&AccessFn> = vec![&site.store.dest];
+            accesses.extend(site.store.value.loads());
+            for acc in accesses {
+                let Some(m) = cx.func.memref(&acc.array) else {
+                    continue;
+                };
+                for (d, (idx, &size)) in acc.indices.iter().zip(&m.shape).enumerate() {
+                    for (low_side, breach) in [
+                        (
+                            true,
+                            Constraint::le(idx.clone(), LinearExpr::constant_expr(-1)),
+                        ),
+                        (
+                            false,
+                            Constraint::ge(idx.clone(), LinearExpr::constant_expr(size as i64)),
+                        ),
+                    ] {
+                        let key = (site.store.stmt.clone(), acc.array.clone(), d, low_side);
+                        if reported.contains(&key) {
+                            continue;
+                        }
+                        let mut cs = site.constraints.to_vec();
+                        cs.push(breach);
+                        if fm::feasible(&cs) {
+                            reported.insert(key);
+                            let bound_txt = if low_side {
+                                "below 0".to_string()
+                            } else {
+                                format!("at or above the extent {size}")
+                            };
+                            out.push(
+                                Diagnostic::new(
+                                    LintCode::OutOfBounds,
+                                    Location::in_loops(&cx.func.name, &path_ivs(site.loop_path))
+                                        .with_stmt(&site.store.stmt),
+                                    format!(
+                                        "access `{}[...]` index {d} (`{idx}`) can evaluate \
+                                         {bound_txt} within its loop domain",
+                                        acc.array
+                                    ),
+                                )
+                                .with_suggestion(format!(
+                                    "shrink the loop bounds, guard the access with an \
+                                     `affine.if`, or grow `{}` along dimension {d}",
+                                    acc.array
+                                )),
+                            );
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// POM003: concurrent accesses of a pipelined/unrolled body must not
+/// exceed the ports its array partition provides (`banks x
+/// ports_per_bank`), and the partitioning itself must fit the device's
+/// BRAM budget (paper Section VI-B). Mirrors the estimator's ResMII and
+/// BRAM accounting, so a clean design is one whose declared II the
+/// estimator can actually honour.
+pub struct PortPressure;
+
+impl Analysis for PortPressure {
+    fn name(&self) -> &'static str {
+        "port-pressure"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        // (a) Port demand per outermost pipelined loop.
+        walk_loops(cx.func, &mut |l, path| {
+            let Some(ii) = l.attrs.pipeline_ii else {
+                return;
+            };
+            if path[..path.len() - 1]
+                .iter()
+                .any(|f| f.pipeline_ii.is_some())
+            {
+                return; // inner loops fold into the outer pipeline's body
+            }
+            let mut unrolled: Vec<(String, u64)> = Vec::new();
+            let mut accesses: BTreeMap<String, u64> = BTreeMap::new();
+            collect_concurrent_accesses(&l.body, &mut unrolled, &mut accesses);
+            for (array, n) in &accesses {
+                let banks = cx
+                    .func
+                    .memref(array)
+                    .map(|m| m.banks().max(1) as u64)
+                    .unwrap_or(1);
+                let ports = (banks * cx.model.ports_per_bank).max(1);
+                let res_mii = n.div_ceil(ports);
+                if res_mii > ii.max(1) as u64 {
+                    let want_banks = n.div_ceil(cx.model.ports_per_bank);
+                    out.push(
+                        Diagnostic::new(
+                            LintCode::PortPressure,
+                            Location::in_loops(&cx.func.name, &path_ivs(path)),
+                            format!(
+                                "`{array}` serves {n} concurrent accesses per iteration of \
+                                 pipelined loop %{} through {banks} bank(s) x {} port(s); \
+                                 memory alone forces II >= {res_mii} > declared {ii}",
+                                l.iv, cx.model.ports_per_bank
+                            ),
+                        )
+                        .with_suggestion(format!(
+                            "cyclically partition `{array}` into >= {want_banks} banks to \
+                             feed the unrolled units, or declare pipeline II >= {res_mii}"
+                        )),
+                    );
+                }
+            }
+        });
+
+        // (b) BRAM budget of the partitioning (the estimator's accounting).
+        let mut bram = 0u64;
+        for m in &cx.func.memrefs {
+            let b = m.banks().max(1) as u64;
+            let per_bank_bits = m.bits().div_ceil(b);
+            bram += b * per_bank_bits.div_ceil(18 * 1024).max(1);
+        }
+        if bram > cx.device.bram18k {
+            out.push(
+                Diagnostic::new(
+                    LintCode::PortPressure,
+                    Location::func_scope(&cx.func.name),
+                    format!(
+                        "the arrays and their partitions map to {bram} BRAM18K units, \
+                         exceeding the device budget of {}",
+                        cx.device.bram18k
+                    ),
+                )
+                .with_suggestion(
+                    "reduce array partition factors or array extents, or target a larger device",
+                ),
+            );
+        }
+    }
+}
+
+/// Counts per-array concurrent accesses of a pipelined body, treating
+/// every inner loop as fully unrolled (Vitis pipeline semantics) — the
+/// estimator's `distinct` access rule: a reference not varying with an
+/// unrolled iv is a broadcast, not an extra port demand.
+fn collect_concurrent_accesses(
+    ops: &[AffineOp],
+    unrolled: &mut Vec<(String, u64)>,
+    out: &mut BTreeMap<String, u64>,
+) {
+    for op in ops {
+        match op {
+            AffineOp::Store(s) => {
+                let distinct = |a: &AccessFn| -> u64 {
+                    unrolled
+                        .iter()
+                        .filter(|(iv, _)| a.indices.iter().any(|e| e.uses(iv)))
+                        .map(|(_, t)| *t)
+                        .product::<u64>()
+                        .max(1)
+                };
+                *out.entry(s.dest.array.clone()).or_insert(0) += distinct(&s.dest);
+                for load in s.value.loads() {
+                    *out.entry(load.array.clone()).or_insert(0) += distinct(load);
+                }
+            }
+            AffineOp::If(i) => collect_concurrent_accesses(&i.body, unrolled, out),
+            AffineOp::For(l) => {
+                let trip = l.const_trip_count().unwrap_or(1).max(1) as u64;
+                unrolled.push((l.iv.clone(), trip));
+                collect_concurrent_accesses(&l.body, unrolled, out);
+                unrolled.pop();
+            }
+        }
+    }
+}
+
+/// POM004: every dependence must stay lexicographically non-negative
+/// under the current schedule — the paper's stage-1 invariant, made
+/// checkable on demand. Dependences are computed in the *original*
+/// iteration space of each compute and re-expressed in the transformed
+/// space through the statement's schedule map; Fourier–Motzkin then asks
+/// whether any dependent instance pair executes in reversed order.
+pub struct ScheduleLegality;
+
+impl Analysis for ScheduleLegality {
+    fn name(&self) -> &'static str {
+        "schedule-legality"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(src) = cx.source else {
+            return; // needs the scheduled DSL source
+        };
+        let f = src.function;
+        let analysis = DependenceAnalysis::new();
+
+        // Per-statement: self-dependences survive the schedule map.
+        for (c, s) in f.computes().iter().zip(src.stmts) {
+            let store = c.store();
+            let dims = c.iter_names();
+            let domain = c.domain();
+            let mut deps = Vec::new();
+            for l in c.loads() {
+                if l.array == store.array {
+                    deps.extend(analysis.analyze_pair(store, l, DepKind::Flow, &dims, &domain));
+                    deps.extend(analysis.analyze_pair(l, store, DepKind::Anti, &dims, &domain));
+                }
+            }
+            if c.loads().iter().any(|l| l.array == store.array) {
+                deps.extend(analysis.analyze_pair(store, store, DepKind::Output, &dims, &domain));
+            }
+            for d in &deps {
+                let Some(dist) = &d.distance else {
+                    continue;
+                };
+                if dist.0.iter().all(|&x| x == 0) {
+                    continue;
+                }
+                if let Some(level) = violated_level(s, &dims, &dist.0) {
+                    out.push(
+                        Diagnostic::new(
+                            LintCode::IllegalSchedule,
+                            Location::func_scope(&cx.func.name).with_stmt(c.name()),
+                            format!(
+                                "the {:?} dependence on `{}` with original distance {:?} \
+                                 executes in reversed order at transformed loop %{} — the \
+                                 schedule is illegal",
+                                d.kind,
+                                d.array,
+                                dist.0,
+                                s.dims()[level]
+                            ),
+                        )
+                        .with_suggestion(
+                            "undo the reordering (interchange/skew) of the carrying loop, or \
+                             skew the nest until the dependence is non-negative again",
+                        ),
+                    );
+                    break; // one finding per statement is enough
+                }
+            }
+        }
+
+        // Cross-statement program order: a consumer nest scheduled
+        // entirely before the producer nest it reads from.
+        let computes = f.computes();
+        for (pi, p) in computes.iter().enumerate() {
+            for (ci, c) in computes.iter().enumerate().skip(pi + 1) {
+                let pa = p.store();
+                let Some(ca) = c.loads().into_iter().find(|l| l.array == pa.array) else {
+                    continue;
+                };
+                if src.stmts[ci].statics()[0] >= src.stmts[pi].statics()[0] {
+                    continue; // still scheduled at or after the producer
+                }
+                if cells_overlap(p, pa, c, ca) {
+                    out.push(
+                        Diagnostic::new(
+                            LintCode::IllegalSchedule,
+                            Location::func_scope(&cx.func.name).with_stmt(c.name()),
+                            format!(
+                                "statement `{}` reads `{}` produced by `{}` but is scheduled \
+                                 before it",
+                                c.name(),
+                                pa.array,
+                                p.name()
+                            ),
+                        )
+                        .with_suggestion(format!(
+                            "schedule `{}` after `{}` (e.g. `{}.after({}, ...)`)",
+                            c.name(),
+                            p.name(),
+                            c.name(),
+                            p.name()
+                        )),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Finds the first transformed loop level at which some instance pair
+/// related by original-space distance `dist` executes in reversed order;
+/// `None` means the schedule preserves the dependence.
+fn violated_level(s: &StmtPoly, orig_dims: &[String], dist: &[i64]) -> Option<usize> {
+    let cur_dims: Vec<String> = s.dims().to_vec();
+    let prime = |n: &str| format!("{n}__snk");
+    let rename_all = |mut e: LinearExpr| -> LinearExpr {
+        for d in &cur_dims {
+            e = e.renamed(d, &prime(d));
+        }
+        e
+    };
+
+    // Source and sink instances both range over the transformed domain.
+    let mut sys: Vec<Constraint> = s.domain().constraints().to_vec();
+    for c in s.domain().constraints() {
+        sys.push(Constraint {
+            expr: rename_all(c.expr.clone()),
+            kind: c.kind,
+        });
+    }
+    // The sink's original coordinates are the source's displaced by dist.
+    for (k, od) in orig_dims.iter().enumerate() {
+        let e = s.orig_expr(od)?;
+        sys.push(Constraint::eq(
+            rename_all(e.clone()) - e.clone(),
+            LinearExpr::constant_expr(dist[k]),
+        ));
+    }
+
+    // Violation at level l: equal above l, sink strictly earlier at l.
+    for (l, dim) in cur_dims.iter().enumerate() {
+        let mut cs = sys.clone();
+        for above in &cur_dims[..l] {
+            cs.push(Constraint::eq(
+                LinearExpr::var(prime(above)),
+                LinearExpr::var(above),
+            ));
+        }
+        cs.push(Constraint::lt(
+            LinearExpr::var(prime(dim)),
+            LinearExpr::var(dim),
+        ));
+        if fm::feasible(&cs) {
+            return Some(l);
+        }
+    }
+    None
+}
+
+/// True when a producer access and a consumer access can touch the same
+/// array cell for some pair of points in their (original) domains.
+fn cells_overlap(p: &Compute, pa: &AccessFn, c: &Compute, ca: &AccessFn) -> bool {
+    let prime = |n: &str| format!("{n}__c");
+    let cdims = c.iter_names();
+    let rename_all = |mut e: LinearExpr| -> LinearExpr {
+        for d in &cdims {
+            e = e.renamed(d, &prime(d));
+        }
+        e
+    };
+    let mut sys: Vec<Constraint> = p.domain().constraints().to_vec();
+    for con in c.domain().constraints() {
+        sys.push(Constraint {
+            expr: rename_all(con.expr.clone()),
+            kind: con.kind,
+        });
+    }
+    for (ep, ec) in pa.indices.iter().zip(&ca.indices) {
+        sys.push(Constraint::eq(ep.clone(), rename_all(ec.clone())));
+    }
+    fm::feasible(&sys)
+}
+
+/// POM005: dead code — memrefs never accessed at all, and stores to
+/// never-read arrays that are provably overwritten by a later iteration
+/// of an enclosing loop (the destination does not vary with it and no
+/// guard makes the store conditional along it). Live-out stores — the
+/// last write to each cell of an output array — are never flagged.
+pub struct DeadCode;
+
+impl Analysis for DeadCode {
+    fn name(&self) -> &'static str {
+        "dead-code"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let mut loaded: BTreeSet<&str> = BTreeSet::new();
+        let mut stored: BTreeSet<&str> = BTreeSet::new();
+        cx.func.walk(&mut |op| {
+            if let AffineOp::Store(s) = op {
+                stored.insert(&s.dest.array);
+                for l in s.value.loads() {
+                    loaded.insert(&l.array);
+                }
+            }
+        });
+
+        for m in &cx.func.memrefs {
+            if !loaded.contains(m.name.as_str()) && !stored.contains(m.name.as_str()) {
+                out.push(
+                    Diagnostic::new(
+                        LintCode::DeadCode,
+                        Location::func_scope(&cx.func.name),
+                        format!("memref `{}` is never accessed", m.name),
+                    )
+                    .with_suggestion(format!("remove the `{}` declaration", m.name)),
+                );
+            }
+        }
+
+        let loaded_owned: BTreeSet<String> = loaded.iter().map(|s| s.to_string()).collect();
+        walk_stores(cx.func, &mut |site| {
+            let array = &site.store.dest.array;
+            if loaded_owned.contains(array) {
+                return;
+            }
+            for frame in site.loop_path {
+                let Some(trip) = frame.trip else {
+                    continue;
+                };
+                if trip <= 1 || site.guarded_ivs.contains(&frame.iv) {
+                    continue;
+                }
+                if !site.store.dest.indices.iter().any(|e| e.uses(&frame.iv)) {
+                    out.push(
+                        Diagnostic::new(
+                            LintCode::DeadCode,
+                            Location::in_loops(&cx.func.name, &path_ivs(site.loop_path))
+                                .with_stmt(&site.store.stmt),
+                            format!(
+                                "store to `{array}` overwrites the same cells on every \
+                                 iteration of %{} and `{array}` is never read — all but \
+                                 the final iteration are dead",
+                                frame.iv
+                            ),
+                        )
+                        .with_suggestion(format!(
+                            "hoist the store out of %{}, or remove it",
+                            frame.iv
+                        )),
+                    );
+                    break;
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LintContext, Linter, Severity};
+    use pom_dsl::{DataType, Function};
+    use pom_hls::{CarriedDep, CostModel, DepSummary, DeviceSpec};
+    use pom_ir::{AffineFunc, ForOp, HlsAttrs, IfOp, MemRefDecl, PartitionInfo, StoreOp};
+    use pom_poly::Bound;
+
+    fn cb(v: i64) -> Bound {
+        Bound::new(LinearExpr::constant_expr(v), 1)
+    }
+
+    fn load(array: &str, idx: Vec<LinearExpr>) -> pom_dsl::Expr {
+        pom_dsl::Expr::Load(AccessFn::new(array, idx))
+    }
+
+    /// The acceptance-criteria function: an infeasible pipeline II, an
+    /// out-of-bounds access, and a dead store, all in one kernel.
+    fn pathological() -> (AffineFunc, DepSummary) {
+        let mut f = AffineFunc::new("bad");
+        f.memrefs.push(MemRefDecl::new("acc", &[1], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("x", &[8], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("dbg", &[4], DataType::F32));
+        f.memrefs
+            .push(MemRefDecl::new("ghost", &[4], DataType::F32));
+
+        // for i in 0..7 pipeline_ii=1:
+        //   acc[0] = acc[0] + x[i + 2]   (OOB: i + 2 reaches 9 > 7;
+        //                                 II: carried chain fadd=4, dist 1)
+        //   dbg[0] = x[i]                (dead: dbg never read, invariant in i)
+        let acc_store = StoreOp {
+            stmt: "s".into(),
+            dest: AccessFn::new("acc", vec![LinearExpr::zero()]),
+            value: load("acc", vec![LinearExpr::zero()])
+                + load("x", vec![LinearExpr::var("i") + 2]),
+        };
+        let dbg_store = StoreOp {
+            stmt: "d".into(),
+            dest: AccessFn::new("dbg", vec![LinearExpr::zero()]),
+            value: load("x", vec![LinearExpr::var("i")]),
+        };
+        f.body.push(AffineOp::For(ForOp {
+            iv: "i".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(7)],
+            attrs: HlsAttrs {
+                pipeline_ii: Some(1),
+                ..Default::default()
+            },
+            body: vec![AffineOp::Store(acc_store), AffineOp::Store(dbg_store)],
+        }));
+
+        let mut deps = DepSummary::new();
+        deps.insert(
+            "i",
+            CarriedDep {
+                array: "acc".into(),
+                distance: 1,
+                chain_latency: 4,
+            },
+        );
+        (f, deps)
+    }
+
+    fn ctx<'a>(
+        f: &'a AffineFunc,
+        deps: &'a DepSummary,
+        model: &'a CostModel,
+        device: &'a DeviceSpec,
+    ) -> LintContext<'a> {
+        LintContext::new(f, deps, model, device)
+    }
+
+    #[test]
+    fn pathological_function_yields_all_three_codes() {
+        let (f, deps) = pathological();
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+        let report = Linter::standard().run(&ctx(&f, &deps, &model, &device));
+
+        let pom1 = report.with_code(LintCode::IiInfeasible);
+        assert_eq!(pom1.len(), 1, "{}", report.render("bad"));
+        assert_eq!(pom1[0].severity, Severity::Error);
+        assert!(
+            pom1[0].message.contains("forces II >= 4"),
+            "{}",
+            pom1[0].message
+        );
+        assert!(pom1[0].suggestion.as_deref().unwrap().contains(">= 4"));
+
+        let pom2 = report.with_code(LintCode::OutOfBounds);
+        assert_eq!(pom2.len(), 1, "{}", report.render("bad"));
+        assert!(pom2[0].message.contains("`x[...]`"), "{}", pom2[0].message);
+        assert!(pom2[0].message.contains("extent 8"), "{}", pom2[0].message);
+
+        let pom5 = report.with_code(LintCode::DeadCode);
+        assert_eq!(pom5.len(), 2, "{}", report.render("bad"));
+        assert!(pom5
+            .iter()
+            .any(|d| d.message.contains("`ghost` is never accessed")));
+        assert!(pom5.iter().any(|d| d.message.contains("store to `dbg`")));
+
+        assert!(report.has_errors());
+        let rendered = report.render("bad");
+        assert!(rendered.contains("error[POM001]"), "{rendered}");
+        assert!(rendered.contains("error[POM002]"), "{rendered}");
+        assert!(rendered.contains("warning[POM005]"), "{rendered}");
+    }
+
+    #[test]
+    fn feasible_ii_and_in_bounds_are_clean() {
+        // Same shape but II = 4 declared, in-bounds access, no dead store.
+        let mut f = AffineFunc::new("ok");
+        f.memrefs.push(MemRefDecl::new("acc", &[1], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("x", &[8], DataType::F32));
+        f.body.push(AffineOp::For(ForOp {
+            iv: "i".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(7)],
+            attrs: HlsAttrs {
+                pipeline_ii: Some(4),
+                ..Default::default()
+            },
+            body: vec![AffineOp::Store(StoreOp {
+                stmt: "s".into(),
+                dest: AccessFn::new("acc", vec![LinearExpr::zero()]),
+                value: load("acc", vec![LinearExpr::zero()])
+                    + load("x", vec![LinearExpr::var("i")]),
+            })],
+        }));
+        let mut deps = DepSummary::new();
+        deps.insert(
+            "i",
+            CarriedDep {
+                array: "acc".into(),
+                distance: 1,
+                chain_latency: 4,
+            },
+        );
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+        let report = Linter::standard().run(&ctx(&f, &deps, &model, &device));
+        assert!(report.is_clean(), "{}", report.render("ok"));
+    }
+
+    #[test]
+    fn bounds_check_respects_if_guards() {
+        // for i in 0..7 { if (i <= 5) { y[i + 2] = x[i] } } — guarded
+        // access is in bounds; without the guard it would breach.
+        let mut f = AffineFunc::new("guarded");
+        f.memrefs.push(MemRefDecl::new("x", &[8], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("y", &[8], DataType::F32));
+        let store = StoreOp {
+            stmt: "s".into(),
+            dest: AccessFn::new("y", vec![LinearExpr::var("i") + 2]),
+            value: load("x", vec![LinearExpr::var("i")]),
+        };
+        f.body.push(AffineOp::For(ForOp {
+            iv: "i".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(7)],
+            attrs: HlsAttrs::none(),
+            body: vec![AffineOp::If(IfOp {
+                conds: vec![Constraint::le(
+                    LinearExpr::var("i"),
+                    LinearExpr::constant_expr(5),
+                )],
+                body: vec![AffineOp::Store(store)],
+            })],
+        }));
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+        let report = Linter::new()
+            .register(BoundsCheck)
+            .run(&ctx(&f, &deps, &model, &device));
+        assert!(report.is_clean(), "{}", report.render("guarded"));
+
+        // Drop the guard: now i + 2 reaches 9.
+        let mut f2 = f.clone();
+        f2.body = vec![AffineOp::For(ForOp {
+            iv: "i".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(7)],
+            attrs: HlsAttrs::none(),
+            body: vec![AffineOp::Store(StoreOp {
+                stmt: "s".into(),
+                dest: AccessFn::new("y", vec![LinearExpr::var("i") + 2]),
+                value: load("x", vec![LinearExpr::var("i")]),
+            })],
+        })];
+        let report = Linter::new()
+            .register(BoundsCheck)
+            .run(&ctx(&f2, &deps, &model, &device));
+        assert_eq!(report.error_count(), 1, "{}", report.render("unguarded"));
+    }
+
+    #[test]
+    fn port_pressure_flags_underpartitioned_unroll() {
+        // Pipelined i with inner fully-unrolled j of trip 8 accessing
+        // x[j]: 8 concurrent reads on an unpartitioned 2-port array.
+        let mut f = AffineFunc::new("ports");
+        f.memrefs.push(MemRefDecl::new("x", &[64], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("y", &[64], DataType::F32));
+        f.body.push(AffineOp::For(ForOp {
+            iv: "i".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(7)],
+            attrs: HlsAttrs {
+                pipeline_ii: Some(1),
+                ..Default::default()
+            },
+            body: vec![AffineOp::For(ForOp {
+                iv: "j".into(),
+                lbs: vec![cb(0)],
+                ubs: vec![cb(7)],
+                attrs: HlsAttrs {
+                    unroll_factor: Some(8),
+                    ..Default::default()
+                },
+                body: vec![AffineOp::Store(StoreOp {
+                    stmt: "s".into(),
+                    dest: AccessFn::new("y", vec![LinearExpr::var("j")]),
+                    value: load("x", vec![LinearExpr::var("j")]),
+                })],
+            })],
+        }));
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+        let report = Linter::new()
+            .register(PortPressure)
+            .run(&ctx(&f, &deps, &model, &device));
+        assert_eq!(report.warning_count(), 2, "{}", report.render("ports"));
+        assert!(report.diagnostics[0].message.contains("forces II >= 4"));
+
+        // Partition both arrays by 4: 8 accesses / (4 banks x 2 ports) = 1.
+        for m in &mut f.memrefs {
+            m.partition = Some(PartitionInfo {
+                factors: vec![4],
+                style: pom_dsl::PartitionStyle::Cyclic,
+            });
+        }
+        let report = Linter::new()
+            .register(PortPressure)
+            .run(&ctx(&f, &deps, &model, &device));
+        assert!(report.is_clean(), "{}", report.render("ports"));
+    }
+
+    #[test]
+    fn bram_budget_overflow_warns() {
+        let mut f = AffineFunc::new("big");
+        // 512 x 512 x 32 bits, partitioned 16-way: 16 banks x 32 BRAM18K
+        // each = 512 > 280.
+        let mut m = MemRefDecl::new("A", &[512, 512], DataType::F32);
+        m.partition = Some(PartitionInfo {
+            factors: vec![16, 1],
+            style: pom_dsl::PartitionStyle::Cyclic,
+        });
+        f.memrefs.push(m);
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+        let report = Linter::new()
+            .register(PortPressure)
+            .run(&ctx(&f, &deps, &model, &device));
+        assert_eq!(report.warning_count(), 1, "{}", report.render("big"));
+        assert!(report.diagnostics[0].message.contains("BRAM18K"));
+    }
+
+    #[test]
+    fn illegal_interchange_is_flagged() {
+        // A[i][j] = A[i-1][j+1]: flow distance (1, -1). Interchanging
+        // makes the dependence lexicographically negative.
+        let n = 8i64;
+        let mut f = Function::new("stencil");
+        let i = f.var("i", 1, n);
+        let j = f.var("j", 0, n - 1);
+        let a = f.placeholder("A", &[n as usize, n as usize], DataType::F32);
+        f.compute(
+            "s",
+            &[i.clone(), j.clone()],
+            a.at(&[i.expr() - 1, j.expr() + 1]),
+            a.access(&[&i, &j]),
+        );
+
+        let legal_stmts: Vec<StmtPoly> = f.computes().iter().map(|c| c.to_stmt_poly()).collect();
+
+        f.interchange("s", "i", "j");
+        let mut bad = f.computes()[0].to_stmt_poly();
+        bad.interchange("i", "j");
+        let bad_stmts = vec![bad];
+
+        // A dummy affine func: POM004 reads only the DSL source + stmts.
+        let af = AffineFunc::new("stencil");
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+
+        let cx_ok = LintContext::new(&af, &deps, &model, &device).with_source(&f, &legal_stmts);
+        let report = Linter::new().register(ScheduleLegality).run(&cx_ok);
+        assert!(report.is_clean(), "{}", report.render("stencil"));
+
+        let cx_bad = LintContext::new(&af, &deps, &model, &device).with_source(&f, &bad_stmts);
+        let report = Linter::new().register(ScheduleLegality).run(&cx_bad);
+        assert_eq!(report.error_count(), 1, "{}", report.render("stencil"));
+        assert!(
+            report.diagnostics[0].message.contains("reversed order"),
+            "{}",
+            report.diagnostics[0].message
+        );
+    }
+
+    #[test]
+    fn consumer_scheduled_before_producer_is_flagged() {
+        let n = 8usize;
+        let mut f = Function::new("pair");
+        let i = f.var("i", 0, n as i64);
+        let x = f.placeholder("X", &[n], DataType::F32);
+        let y = f.placeholder("Y", &[n], DataType::F32);
+        let z = f.placeholder("Z", &[n], DataType::F32);
+        f.compute(
+            "P",
+            std::slice::from_ref(&i),
+            x.at(&[&i]) * 2.0,
+            y.access(&[&i]),
+        );
+        f.compute(
+            "C",
+            std::slice::from_ref(&i),
+            y.at(&[&i]) + 1.0,
+            z.access(&[&i]),
+        );
+
+        let mut p_stmt = f.computes()[0].to_stmt_poly();
+        let mut c_stmt = f.computes()[1].to_stmt_poly();
+        // Legal order: P at 0, C at 1.
+        p_stmt.set_order(0);
+        c_stmt.set_order(1);
+        let af = AffineFunc::new("pair");
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+        let good = vec![p_stmt.clone(), c_stmt.clone()];
+        let cx = LintContext::new(&af, &deps, &model, &device).with_source(&f, &good);
+        assert!(Linter::new().register(ScheduleLegality).run(&cx).is_clean());
+
+        // Illegal: C scheduled wholly before P.
+        p_stmt.set_order(1);
+        c_stmt.set_order(0);
+        let bad = vec![p_stmt, c_stmt];
+        let cx = LintContext::new(&af, &deps, &model, &device).with_source(&f, &bad);
+        let report = Linter::new().register(ScheduleLegality).run(&cx);
+        assert_eq!(report.error_count(), 1, "{}", report.render("pair"));
+        assert!(report.diagnostics[0].message.contains("scheduled"));
+    }
+
+    #[test]
+    fn reduction_store_is_not_dead() {
+        // acc[0] = acc[0] + x[i]: the accumulator is read, so the
+        // invariant destination is not a dead store.
+        let mut f = AffineFunc::new("red");
+        f.memrefs.push(MemRefDecl::new("acc", &[1], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("x", &[8], DataType::F32));
+        f.body.push(AffineOp::For(ForOp {
+            iv: "i".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(7)],
+            attrs: HlsAttrs::none(),
+            body: vec![AffineOp::Store(StoreOp {
+                stmt: "s".into(),
+                dest: AccessFn::new("acc", vec![LinearExpr::zero()]),
+                value: load("acc", vec![LinearExpr::zero()])
+                    + load("x", vec![LinearExpr::var("i")]),
+            })],
+        }));
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+        let report = Linter::new()
+            .register(DeadCode)
+            .run(&ctx(&f, &deps, &model, &device));
+        assert!(report.is_clean(), "{}", report.render("red"));
+    }
+
+    #[test]
+    fn guarded_boundary_store_is_not_dead() {
+        // for t in 0..3 { for i in 0..7 { if (i == t) out[0] = x[i] } }:
+        // out never read, dest invariant in both loops, but the guard
+        // makes the store conditional — not provably dead.
+        let mut f = AffineFunc::new("bnd");
+        f.memrefs.push(MemRefDecl::new("out", &[1], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("x", &[8], DataType::F32));
+        f.body.push(AffineOp::For(ForOp {
+            iv: "t".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(3)],
+            attrs: HlsAttrs::none(),
+            body: vec![AffineOp::For(ForOp {
+                iv: "i".into(),
+                lbs: vec![cb(0)],
+                ubs: vec![cb(7)],
+                attrs: HlsAttrs::none(),
+                body: vec![AffineOp::If(IfOp {
+                    conds: vec![Constraint::eq(LinearExpr::var("i"), LinearExpr::var("t"))],
+                    body: vec![AffineOp::Store(StoreOp {
+                        stmt: "s".into(),
+                        dest: AccessFn::new("out", vec![LinearExpr::zero()]),
+                        value: load("x", vec![LinearExpr::var("i")]),
+                    })],
+                })],
+            })],
+        }));
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+        let report = Linter::new()
+            .register(DeadCode)
+            .run(&ctx(&f, &deps, &model, &device));
+        assert!(report.is_clean(), "{}", report.render("bnd"));
+    }
+}

@@ -176,9 +176,7 @@ fn build_level(items: &[&StmtPoly], depth: usize) -> Vec<AstNode> {
             let iv = &s.dims()[depth];
             let mut run = vec![s];
             let mut j = idx + 1;
-            while j < group.len()
-                && group[j].dims().len() > depth
-                && &group[j].dims()[depth] == iv
+            while j < group.len() && group[j].dims().len() > depth && &group[j].dims()[depth] == iv
             {
                 run.push(group[j]);
                 j += 1;
@@ -213,8 +211,7 @@ fn stmt_bounds(s: &StmtPoly, depth: usize) -> (Vec<Bound>, Vec<Bound>) {
 
 fn bounds_equal(a: &(Vec<Bound>, Vec<Bound>), b: &(Vec<Bound>, Vec<Bound>)) -> bool {
     let norm = |v: &[Bound]| {
-        let mut v: Vec<(LinearExpr, i64)> =
-            v.iter().map(|b| (b.expr.clone(), b.div)).collect();
+        let mut v: Vec<(LinearExpr, i64)> = v.iter().map(|b| (b.expr.clone(), b.div)).collect();
         v.sort();
         v.dedup();
         v
@@ -257,9 +254,7 @@ fn loop_node(run: &[&StmtPoly], depth: usize) -> AstNode {
         .iter()
         .map(|s| {
             constant_range(&stmt_bounds(s, depth)).unwrap_or_else(|| {
-                panic!(
-                    "cannot fuse statements with differing non-constant bounds at loop {iv}"
-                )
+                panic!("cannot fuse statements with differing non-constant bounds at loop {iv}")
             })
         })
         .collect();

@@ -437,6 +437,7 @@ pub fn solve_integer_system(a: &[Vec<i64>], b: &[i64]) -> Option<(Vec<i64>, Vec<
     let mut row = 0;
     while row < m {
         let mut best: Option<(usize, usize, i128)> = None; // (row, col, |num/den| rank)
+        #[allow(clippy::needless_range_loop)] // pivot search reads (r, col) pairs
         for col in 0..n {
             if pivot_cols.contains(&col) {
                 continue;
@@ -480,8 +481,8 @@ pub fn solve_integer_system(a: &[Vec<i64>], b: &[i64]) -> Option<(Vec<i64>, Vec<
     }
 
     // Inconsistency check: zero row with non-zero rhs.
-    for r in row..m {
-        if mat[r][..n].iter().all(|x| x.0 == 0) && mat[r][n].0 != 0 {
+    for mrow in mat.iter().take(m).skip(row) {
+        if mrow[..n].iter().all(|x| x.0 == 0) && mrow[n].0 != 0 {
             return None;
         }
     }
@@ -624,10 +625,7 @@ mod tests {
         // S: A[i][j] = A[i-1][j-1] * 2 + 3 over 1 <= i, j <= 4.
         let d = dims(&["i", "j"]);
         let domain = BasicSet::from_bounds(&[("i", 1, 4), ("j", 1, 4)]);
-        let write = AccessFn::new(
-            "A",
-            vec![LinearExpr::var("i"), LinearExpr::var("j")],
-        );
+        let write = AccessFn::new("A", vec![LinearExpr::var("i"), LinearExpr::var("j")]);
         let read = AccessFn::new(
             "A",
             vec![LinearExpr::var("i") - 1, LinearExpr::var("j") - 1],
@@ -645,11 +643,9 @@ mod tests {
     fn gemm_reduction_dependence() {
         // C[i][j] += ... : write C(i,j), read C(i,j), dims (i,j,k).
         let d = dims(&["i", "j", "k"]);
-        let domain =
-            BasicSet::from_bounds(&[("i", 0, 31), ("j", 0, 31), ("k", 0, 31)]);
+        let domain = BasicSet::from_bounds(&[("i", 0, 31), ("j", 0, 31), ("k", 0, 31)]);
         let acc = AccessFn::new("C", vec![LinearExpr::var("i"), LinearExpr::var("j")]);
-        let deps =
-            DependenceAnalysis::new().analyze_pair(&acc, &acc, DepKind::Flow, &d, &domain);
+        let deps = DependenceAnalysis::new().analyze_pair(&acc, &acc, DepKind::Flow, &d, &domain);
         // Loop-independent (same iteration) + carried at k with distance 1.
         assert!(deps
             .iter()
@@ -667,8 +663,7 @@ mod tests {
         let d = dims(&["i", "j"]);
         let domain = BasicSet::from_bounds(&[("i", 0, 31), ("j", 0, 31)]);
         let acc = AccessFn::new("q", vec![LinearExpr::var("i")]);
-        let deps =
-            DependenceAnalysis::new().analyze_pair(&acc, &acc, DepKind::Flow, &d, &domain);
+        let deps = DependenceAnalysis::new().analyze_pair(&acc, &acc, DepKind::Flow, &d, &domain);
         let carried: Vec<_> = deps.iter().filter(|x| x.is_loop_carried()).collect();
         assert!(carried
             .iter()
@@ -681,14 +676,8 @@ mod tests {
         let d = dims(&["i", "j"]);
         let domain = BasicSet::from_bounds(&[("i", 1, 30), ("j", 1, 30)]);
         let write = AccessFn::new("A", vec![LinearExpr::var("i"), LinearExpr::var("j")]);
-        let read_n = AccessFn::new(
-            "A",
-            vec![LinearExpr::var("i") - 1, LinearExpr::var("j")],
-        );
-        let read_w = AccessFn::new(
-            "A",
-            vec![LinearExpr::var("i"), LinearExpr::var("j") - 1],
-        );
+        let read_n = AccessFn::new("A", vec![LinearExpr::var("i") - 1, LinearExpr::var("j")]);
+        let read_w = AccessFn::new("A", vec![LinearExpr::var("i"), LinearExpr::var("j") - 1]);
         let an = DependenceAnalysis::new();
         let dn = an.analyze_pair(&write, &read_n, DepKind::Flow, &d, &domain);
         let dw = an.analyze_pair(&write, &read_w, DepKind::Flow, &d, &domain);
@@ -732,8 +721,7 @@ mod tests {
         let domain = BasicSet::from_bounds(&[("i", 0, 7), ("j", 0, 7)]);
         let w = AccessFn::new("A", vec![LinearExpr::var("i"), LinearExpr::var("j")]);
         let r = AccessFn::new("A", vec![LinearExpr::var("j"), LinearExpr::var("i")]);
-        let deps =
-            DependenceAnalysis::new().analyze_pair(&w, &r, DepKind::Flow, &d, &domain);
+        let deps = DependenceAnalysis::new().analyze_pair(&w, &r, DepKind::Flow, &d, &domain);
         assert_eq!(deps.len(), 1);
         assert!(deps[0].distance.is_none());
         assert_eq!(deps[0].direction.0[0], Direction::Unknown);

@@ -182,9 +182,7 @@ impl LinearExpr {
 
     /// The gcd of all variable coefficients (0 when constant).
     pub fn coeff_gcd(&self) -> i64 {
-        self.terms
-            .values()
-            .fold(0, |acc, &c| crate::gcd(acc, c))
+        self.terms.values().fold(0, |acc, &c| crate::gcd(acc, c))
     }
 
     /// Divides all coefficients and the constant by `d`.

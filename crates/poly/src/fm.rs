@@ -74,9 +74,9 @@ pub fn eliminate(constraints: &[Constraint], var: &str) -> Projection {
     let mut rest: Vec<Constraint> = Vec::new();
 
     let push_ineq = |expr: &LinearExpr,
-                         lowers: &mut Vec<(i64, LinearExpr)>,
-                         uppers: &mut Vec<(i64, LinearExpr)>,
-                         rest: &mut Vec<Constraint>| {
+                     lowers: &mut Vec<(i64, LinearExpr)>,
+                     uppers: &mut Vec<(i64, LinearExpr)>,
+                     rest: &mut Vec<Constraint>| {
         let a = expr.coeff(var);
         if a == 0 {
             rest.push(Constraint::ge_zero(expr.clone()));
@@ -159,9 +159,9 @@ pub fn feasible(constraints: &[Constraint]) -> bool {
 
 fn try_equality_substitution(cs: &[Constraint], var: &str) -> Option<Vec<Constraint>> {
     // Prefer an equality where |coeff(var)| == 1 for an exact substitution.
-    let pos = cs.iter().position(|c| {
-        c.kind == ConstraintKind::Eq && matches!(c.expr.coeff(var), 1 | -1)
-    })?;
+    let pos = cs
+        .iter()
+        .position(|c| c.kind == ConstraintKind::Eq && matches!(c.expr.coeff(var), 1 | -1))?;
     let eqc = &cs[pos];
     let a = eqc.expr.coeff(var);
     // a*var + rest == 0 => var = -rest / a; with |a| == 1: var = -a * rest.

@@ -46,9 +46,9 @@ pub use constraint::{Constraint, ConstraintKind};
 pub use dependence::{AccessFn, DepKind, Dependence, DependenceAnalysis};
 pub use expr::LinearExpr;
 pub use map::Map;
-pub use set::BasicSet;
 pub use parse::{parse_set, ParseError};
 pub use schedule::{schedule_map, timestamp, UnionMap};
+pub use set::BasicSet;
 pub use transform::StmtPoly;
 pub use vector::{Direction, DirectionVector, DistanceVector};
 

@@ -119,7 +119,9 @@ impl<'a> Parser<'a> {
         if self.rest().starts_with(w) {
             let after = self.rest()[w.len()..].chars().next();
             let boundary = !w.chars().next().unwrap_or(' ').is_alphanumeric()
-                || !after.map(|c| c.is_alphanumeric() || c == '_').unwrap_or(false);
+                || !after
+                    .map(|c| c.is_alphanumeric() || c == '_')
+                    .unwrap_or(false);
             if boundary {
                 self.pos += w.len();
                 return true;
@@ -142,7 +144,12 @@ impl<'a> Parser<'a> {
         let mut chars = self.rest().char_indices();
         match chars.next() {
             Some((_, c)) if c.is_alphabetic() || c == '_' => {}
-            _ => return Err(ParseError(format!("expected identifier at {:?}", self.rest()))),
+            _ => {
+                return Err(ParseError(format!(
+                    "expected identifier at {:?}",
+                    self.rest()
+                )))
+            }
         }
         let mut end = start + 1;
         for (i, c) in chars {
@@ -335,8 +342,14 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown dimension k"));
-        assert!(parse_set("{ [i] : i }").unwrap_err().0.contains("comparison"));
-        assert!(parse_set("{ [i] } extra").unwrap_err().0.contains("trailing"));
+        assert!(parse_set("{ [i] : i }")
+            .unwrap_err()
+            .0
+            .contains("comparison"));
+        assert!(parse_set("{ [i] } extra")
+            .unwrap_err()
+            .0
+            .contains("trailing"));
     }
 
     #[test]

@@ -44,9 +44,9 @@ pub fn schedule_map(s: &StmtPoly) -> Map {
 pub fn timestamp(s: &StmtPoly, point: &[i64], width: usize) -> Vec<i64> {
     assert_eq!(point.len(), s.dims().len(), "point arity mismatch");
     let mut out = Vec::with_capacity(width);
-    for k in 0..s.dims().len() {
+    for (k, &p) in point.iter().enumerate() {
         out.push(s.statics()[k]);
-        out.push(point[k]);
+        out.push(p);
     }
     out.push(s.statics()[s.dims().len()]);
     while out.len() < width {
@@ -85,10 +85,7 @@ impl UnionMap {
 
     /// The schedule map of a statement.
     pub fn map_of(&self, stmt: &str) -> Option<&Map> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n == stmt)
-            .map(|(_, m)| m)
+        self.entries.iter().find(|(n, _)| n == stmt).map(|(_, m)| m)
     }
 
     /// Checks that no two statements of the union share an identical
@@ -169,7 +166,8 @@ mod tests {
         let stmts = vec![s1, s2];
         let um = UnionMap::from_stmts(&stmts);
         assert_eq!(um.len(), 2);
-        um.check_injective(&stmts, 10_000).expect("distinct timestamps");
+        um.check_injective(&stmts, 10_000)
+            .expect("distinct timestamps");
         assert!(um.map_of("S1").is_some());
         assert!(um.map_of("nope").is_none());
     }

@@ -7,6 +7,9 @@ use crate::{ceil_div, floor_div};
 use std::collections::HashMap;
 use std::fmt;
 
+/// One bound candidate: `(expr, divisor)` — see [`BasicSet::bounds_of`].
+pub type BoundTerm = (LinearExpr, i64);
+
 /// An integer set `{ (d0, ..., dn) : constraints }` over *named*, ordered
 /// dimensions — the iteration-domain representation of the paper's
 /// polyhedral IR (Section V-B).
@@ -198,7 +201,8 @@ impl BasicSet {
         let idx = self
             .dim_index(name)
             .unwrap_or_else(|| panic!("dimension {name} not found"));
-        self.dims.splice(idx..=idx, with.iter().map(|s| s.to_string()));
+        self.dims
+            .splice(idx..=idx, with.iter().map(|s| s.to_string()));
     }
 
     /// Reorders dimensions to the given permutation of names.
@@ -222,7 +226,7 @@ impl BasicSet {
     /// dimensions. Each bound is `(expr, divisor)`:
     /// lower bounds mean `dim >= ceil(expr / divisor)`,
     /// upper bounds mean `dim <= floor(expr / divisor)`.
-    pub fn bounds_of(&self, dim: &str) -> (Vec<(LinearExpr, i64)>, Vec<(LinearExpr, i64)>) {
+    pub fn bounds_of(&self, dim: &str) -> (Vec<BoundTerm>, Vec<BoundTerm>) {
         let idx = self
             .dim_index(dim)
             .unwrap_or_else(|| panic!("dimension {dim} not found"));
@@ -302,7 +306,7 @@ impl BasicSet {
                 }
             }
         }
-        if lo.iter().any(|&x| x == i64::MIN) || hi.iter().any(|&x| x == i64::MAX) {
+        if lo.contains(&i64::MIN) || hi.contains(&i64::MAX) {
             return None;
         }
         Some(lo.into_iter().zip(hi).collect())
@@ -338,7 +342,10 @@ impl BasicSet {
     ) {
         if level == self.dims.len() {
             if self.contains_assignment(prefix) {
-                assert!(out.len() < limit, "point enumeration exceeded limit {limit}");
+                assert!(
+                    out.len() < limit,
+                    "point enumeration exceeded limit {limit}"
+                );
                 out.push(point.clone());
             }
             return;

@@ -42,7 +42,7 @@ impl StmtPoly {
             name: name.into(),
             statics: vec![0; dims.len() + 1],
             orig_dims: dims.clone(),
-            orig_exprs: dims.iter().map(|d| LinearExpr::var(d)).collect(),
+            orig_exprs: dims.iter().map(LinearExpr::var).collect(),
             dims,
             domain,
         }
@@ -56,7 +56,7 @@ impl StmtPoly {
             name: name.into(),
             statics: vec![0; dims.len() + 1],
             orig_dims: dims.clone(),
-            orig_exprs: dims.iter().map(|d| LinearExpr::var(d)).collect(),
+            orig_exprs: dims.iter().map(LinearExpr::var).collect(),
             dims,
             domain,
         }
@@ -321,13 +321,12 @@ impl StmtPoly {
         let pts = self.domain.enumerate_points(limit);
         pts.iter()
             .map(|p| {
-                let assignment: HashMap<String, i64> = self
-                    .dims
+                let assignment: HashMap<String, i64> =
+                    self.dims.iter().cloned().zip(p.iter().copied()).collect();
+                self.orig_exprs
                     .iter()
-                    .cloned()
-                    .zip(p.iter().copied())
-                    .collect();
-                self.orig_exprs.iter().map(|e| e.eval(&assignment)).collect()
+                    .map(|e| e.eval(&assignment))
+                    .collect()
             })
             .collect()
     }
@@ -363,7 +362,9 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn orig_set(s: &StmtPoly) -> BTreeSet<Vec<i64>> {
-        s.enumerate_original_instances(100_000).into_iter().collect()
+        s.enumerate_original_instances(100_000)
+            .into_iter()
+            .collect()
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub struct DistanceVector(pub Vec<i64>);
 impl DistanceVector {
     /// The direction vector derived entry-wise from the distances.
     pub fn direction(&self) -> DirectionVector {
-        DirectionVector(self.0.iter().map(|&d| Direction::from_distance(d)).collect())
+        DirectionVector(
+            self.0
+                .iter()
+                .map(|&d| Direction::from_distance(d))
+                .collect(),
+        )
     }
 
     /// True when the vector is lexicographically positive (a genuine

@@ -60,7 +60,10 @@ fn main() {
         "{:<10} {:>14} {:>9} {:>5}",
         "framework", "cycles", "speedup", "II"
     );
-    println!("{:<10} {:>14} {:>9} {:>5}", "baseline", base.qor.latency, "1.0x", "-");
+    println!(
+        "{:<10} {:>14} {:>9} {:>5}",
+        "baseline", base.qor.latency, "1.0x", "-"
+    );
     for b in [
         baselines::pluto_like(&f, &opts),
         baselines::polsca_like(&f, &opts),

@@ -25,7 +25,10 @@ fn main() {
     let pom = auto_dse(&f, &opts);
     let stage1 = pom::dse::stage1::dependence_aware_transform(&f, 8);
     println!("\n=== POM (resource reuse) per-layer designs ===");
-    println!("{:<10} {:>18} {:>8} {:>12}", "group", "tiles", "DSP", "parallelism");
+    println!(
+        "{:<10} {:>18} {:>8} {:>12}",
+        "group", "tiles", "DSP", "parallelism"
+    );
     let mut max_dsp = 0;
     for g in &pom.groups {
         let (_, r) = group_compile(&stage1, g, &opts);

@@ -40,12 +40,18 @@ fn main() {
     println!("=== Dependence graph IR ===\n{graph}");
 
     let result = pom.codegen(&f);
-    println!("=== Annotated affine dialect ===\n{}\n", result.compiled.affine);
+    println!(
+        "=== Annotated affine dialect ===\n{}\n",
+        result.compiled.affine
+    );
     println!("=== Generated HLS C ===\n{}", result.hls_c);
     let q = &result.compiled.qor;
     println!("=== QoR estimate ===");
     println!("latency:  {} cycles", q.latency);
-    println!("speedup:  {:.1}x over the unoptimized baseline", result.speedup_over_baseline);
+    println!(
+        "speedup:  {:.1}x over the unoptimized baseline",
+        result.speedup_over_baseline
+    );
     println!("resources: {}", q.resources);
     println!("power:    {:.3} W", q.power);
     for l in &q.loops {

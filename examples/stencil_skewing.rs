@@ -64,7 +64,7 @@ fn main() {
     manual.partition("B", &[1, 8], PartitionStyle::Cyclic);
 
     let base = baselines::baseline_compiled(&f, &opts);
-    let manual_compiled = compile(&manual, &opts);
+    let manual_compiled = compile(&manual, &opts).expect("manual schedule compiles");
     println!(
         "manual wavefront schedule (③): {:.1}x speedup",
         manual_compiled.qor.speedup_over(&base.qor)
@@ -87,7 +87,10 @@ fn main() {
     println!("\n=== Seidel (both loop levels carried) ===");
     let g = pom::DepGraph::build(&f);
     let node = g.node("s").expect("one node");
-    println!("carried distances per level: {:?}", node.analysis.carried_by_level);
+    println!(
+        "carried distances per level: {:?}",
+        node.analysis.carried_by_level
+    );
     println!("guidance: {}", node.analysis.hint);
 
     let base = baselines::baseline_compiled(&f, &opts);

@@ -4,8 +4,7 @@
 //! framework orderings the paper reports.
 
 use pom::{
-    auto_dse, baselines, compile, execute_func, reference_execute, CompileOptions, MemoryState,
-    Pom,
+    auto_dse, baselines, compile, execute_func, reference_execute, CompileOptions, MemoryState, Pom,
 };
 use pom_bench::kernels;
 
@@ -14,7 +13,7 @@ use pom_bench::kernels;
 fn assert_dse_preserves_semantics(f: &pom::Function, arrays: &[&str], seed: u64) {
     let opts = CompileOptions::default();
     let r = auto_dse(f, &opts);
-    let compiled = compile(&r.function, &opts);
+    let compiled = compile(&r.function, &opts).expect("DSE schedule compiles");
     pom::ir::verify(&compiled.affine).expect("DSE output must verify");
 
     let mut reference = MemoryState::for_function_seeded(f, seed);
@@ -142,7 +141,11 @@ fn user_schedule_and_auto_dse_both_work_through_facade() {
     let pom_driver = Pom::new();
     let manual_result = pom_driver.codegen(&manual);
     assert!(manual_result.speedup_over_baseline > 2.0);
-    assert_eq!(manual_result.dse_time.as_nanos(), 0, "no DSE for user schedules");
+    assert_eq!(
+        manual_result.dse_time.as_nanos(),
+        0,
+        "no DSE for user schedules"
+    );
 
     let mut auto = kernels::gemm(32);
     auto.auto_dse();

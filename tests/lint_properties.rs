@@ -1,0 +1,96 @@
+//! Property-based tests (proptest) on the contract between the DSE
+//! engine and `pom-lint`: whatever schedule the two-stage search emits,
+//! the compiled design must be free of error-severity POM001
+//! (II-infeasibility) and POM002 (out-of-bounds) diagnostics — the DSE
+//! aligns declared IIs with the recurrence-achievable ones and only
+//! applies domain-preserving transformations.
+
+use pom::{auto_dse, lint_report, CompileOptions, DataType, Function, LintCode, Severity};
+use proptest::prelude::*;
+
+/// Asserts the DSE result of `f` carries no POM001/POM002 errors.
+fn dse_is_lint_clean(f: &Function) {
+    let opts = CompileOptions::default();
+    let r = auto_dse(f, &opts);
+    let report = lint_report(&r.function, &r.compiled, &opts);
+    for d in &report.diagnostics {
+        assert!(
+            !(d.severity == Severity::Error
+                && matches!(d.code, LintCode::IiInfeasible | LintCode::OutOfBounds)),
+            "DSE output of `{}` not lint-clean: {d}",
+            f.name()
+        );
+    }
+}
+
+/// A matrix-vector product `y[i] += A[i][j] * x[j]` with arbitrary
+/// rectangular extents.
+fn matvec(n: usize, m: usize) -> Function {
+    let mut f = Function::new("matvec");
+    let i = f.var("i", 0, n as i64);
+    let j = f.var("j", 0, m as i64);
+    let a = f.placeholder("A", &[n, m], DataType::F32);
+    let x = f.placeholder("x", &[m], DataType::F32);
+    let y = f.placeholder("y", &[n], DataType::F32);
+    f.compute(
+        "S",
+        &[i.clone(), j.clone()],
+        y.at(&[&i]) + a.at(&[&i, &j]) * x.at(&[&j]),
+        y.access(&[&i]),
+    );
+    f
+}
+
+/// A square matrix multiplication with the reduction loop outermost (the
+/// paper's Fig. 4 ordering, which stage 1 must interchange).
+fn gemm(n: usize) -> Function {
+    let mut f = Function::new("gemm");
+    let k = f.var("k", 0, n as i64);
+    let i = f.var("i", 0, n as i64);
+    let j = f.var("j", 0, n as i64);
+    let a = f.placeholder("A", &[n, n], DataType::F32);
+    let b = f.placeholder("B", &[n, n], DataType::F32);
+    let c = f.placeholder("C", &[n, n], DataType::F32);
+    f.compute(
+        "s",
+        &[k.clone(), i.clone(), j.clone()],
+        a.at(&[&i, &j]) + b.at(&[&i, &k]) * c.at(&[&k, &j]),
+        a.access(&[&i, &j]),
+    );
+    f
+}
+
+/// A shifted-window stencil `B[i] = A[i] + A[i+s]` whose source extent is
+/// grown to keep the shifted read in bounds.
+fn stencil(n: usize, shift: usize) -> Function {
+    let mut f = Function::new("stencil");
+    let i = f.var("i", 0, n as i64);
+    let a = f.placeholder("A", &[n + shift], DataType::F32);
+    let b = f.placeholder("B", &[n], DataType::F32);
+    f.compute(
+        "S",
+        std::slice::from_ref(&i),
+        a.at(&[i.expr()]) + a.at(&[i.expr() + shift as i64]),
+        b.access(&[&i]),
+    );
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn dse_matvec_is_lint_clean(n in 4usize..40, m in 4usize..40) {
+        dse_is_lint_clean(&matvec(n, m));
+    }
+
+    #[test]
+    fn dse_gemm_is_lint_clean(n in 4usize..32) {
+        dse_is_lint_clean(&gemm(n));
+    }
+
+    #[test]
+    fn dse_stencil_is_lint_clean(n in 4usize..64, shift in 1usize..4) {
+        dse_is_lint_clean(&stencil(n, shift));
+    }
+}

@@ -56,12 +56,7 @@ fn apply_steps(s: &mut StmtPoly, steps: &[Step]) {
             Step::Split(d, f) => {
                 let d = d % dims.len();
                 fresh += 1;
-                s.split(
-                    &dims[d],
-                    *f,
-                    &format!("sp{fresh}o"),
-                    &format!("sp{fresh}i"),
-                );
+                s.split(&dims[d], *f, &format!("sp{fresh}o"), &format!("sp{fresh}i"));
             }
             Step::Skew(f) => {
                 if dims.len() >= 2 {

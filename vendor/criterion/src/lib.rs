@@ -1,0 +1,129 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace builds offline, so the benchmark harness surface the
+//! `benches/` files use is implemented here directly: the builder methods
+//! on [`Criterion`], `bench_function`/`iter`, and `final_summary`. Each
+//! benchmark runs a warm-up pass then `sample_size` timed samples and
+//! prints the mean/min/max wall-clock time per iteration.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measurement time (an upper bound here).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for CLI compatibility; filtering flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            b.samples.clear();
+            f(&mut b);
+            if b.samples.is_empty() {
+                break; // the closure never called iter(); nothing to time
+            }
+        }
+        // Timed samples, bounded by count and the measurement budget.
+        b.samples.clear();
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            if run_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        if b.samples.is_empty() {
+            println!("{name}: no samples");
+            return self;
+        }
+        let n = b.samples.len() as u32;
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / n;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let max = b.samples.iter().max().copied().unwrap_or_default();
+        println!("{name}: mean {mean:?} (min {min:?}, max {max:?}, {n} samples)");
+        self
+    }
+
+    /// Prints nothing extra; kept for API compatibility with
+    /// `criterion.final_summary()` at the end of `main`.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Passed to the benchmark closure; times calls to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `f` as a sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed());
+        drop(black_box(out));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1))
+            .configure_from_args();
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs >= 3);
+        c.final_summary();
+    }
+}

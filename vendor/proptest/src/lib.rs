@@ -1,0 +1,377 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! This workspace builds in offline environments where crates.io is not
+//! reachable, so the subset of proptest the test suite actually uses is
+//! implemented here: the [`Strategy`] trait with `prop_map`, range and
+//! tuple strategies, `collection::vec`, `prop_oneof!`, and the
+//! `proptest!`/`prop_assert!` macros. Generation is deterministic — each
+//! test derives its RNG seed from its own name, so failures reproduce.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A value generator. Mirrors proptest's `Strategy` at the surface the
+    /// suite needs: `generate` replaces the value-tree machinery (no
+    /// shrinking), `prop_map` composes.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A constant strategy.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    if self.end <= self.start {
+                        return self.start;
+                    }
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    if hi <= lo {
+                        return lo;
+                    }
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i64, i32, u64, u32, usize, i8, u8, i16, u16);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty option list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A collection size: an exact length or an inclusive-exclusive range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: r.end().max(r.start()) + 1,
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec` — a vector with a size in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo).max(1) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A deterministic xorshift64* generator seeded from the test name, so
+    /// every run explores the same cases and failures reproduce exactly.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary string (the test name).
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name; never zero.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs a block of property tests. Supports the subset of proptest's
+/// grammar the suite uses: an optional `#![proptest_config(...)]` header
+/// and `fn name(pat in strategy, ...) { body }` items with outer
+/// attributes (`#[test]`, doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for _ in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform random choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure, like a plain
+/// `assert!` — this stub has no shrinking to drive).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("ranges");
+        for _ in 0..200 {
+            let v = (3i64..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::test_runner::TestRng::deterministic("vecs");
+        for _ in 0..100 {
+            let v = crate::collection::vec(0i64..4, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn determinism_by_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("same");
+        let mut b = crate::test_runner::TestRng::deterministic("same");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_roundtrip(x in 0i64..10, v in crate::collection::vec(0i64..3, 4)) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert_eq!(v.len(), 4);
+        }
+    }
+}
