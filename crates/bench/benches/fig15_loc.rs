@@ -11,6 +11,7 @@ fn timed(c: &mut Criterion) {
         b.iter(|| {
             black_box(pom::hls::hls_c_loc(
                 &pom::auto_dse(&pom_bench::kernels::gemm(128), &opts)
+                    .expect("DSE compiles")
                     .compiled
                     .affine,
             ))

@@ -5,16 +5,24 @@
 //!
 //! ```text
 //! pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint] [--no-dse]
+//! pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]
 //! ```
 //!
 //! `--emit lint` runs the `pom-lint` diagnostics suite (POM001–POM005)
 //! over the compiled design and exits nonzero when any error-severity
 //! diagnostic fires.
 //!
+//! `bench-dse` runs the Table III + Table V suite with the serial seed
+//! profile and with the parallel + memoized search, checks the outputs
+//! are identical, writes `BENCH_dse.json`, and exits nonzero when any
+//! kernel's fast-mode DSE exceeds `--ceiling` seconds or diverges from
+//! the serial search.
+//!
 //! Kernels: gemm, bicg, gesummv, 2mm, 3mm, jacobi1d, jacobi2d, heat1d,
 //! seidel, edge_detect, gaussian, blur, vgg16, resnet18.
 
 use pom::{auto_dse, baselines, CompileOptions, Function, Pom};
+use pom_bench::experiments::bench_dse;
 
 fn kernel_by_name(name: &str, size: usize) -> Option<Function> {
     use pom_bench::kernels as k;
@@ -37,8 +45,71 @@ fn kernel_by_name(name: &str, size: usize) -> Option<Function> {
     })
 }
 
-const USAGE: &str =
-    "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint] [--no-dse]";
+const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint] [--no-dse]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]";
+
+fn bench_dse_main(args: &[String]) -> ! {
+    let mut size = 64usize;
+    let mut out = "BENCH_dse.json".to_string();
+    let mut ceiling = f64::INFINITY;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size" => {
+                size = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--size expects a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--ceiling" => {
+                ceiling = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--ceiling expects seconds");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = bench_dse::run_suite(size);
+    print!("{}", bench_dse::render(&report));
+    if let Err(e) = std::fs::write(&out, bench_dse::to_json(&report)) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+    let mut failed = false;
+    for k in &report.rows {
+        if !k.identical {
+            eprintln!("FAIL: {} parallel search diverged from serial", k.kernel);
+            failed = true;
+        }
+        if k.fast_s > ceiling {
+            eprintln!(
+                "FAIL: {} DSE took {:.3} s (> ceiling {:.3} s)",
+                k.kernel, k.fast_s, ceiling
+            );
+            failed = true;
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +117,9 @@ fn main() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     };
+    if kernel == "bench-dse" {
+        bench_dse_main(&args[1..]);
+    }
     let mut size = 256usize;
     let mut emit = "report".to_string();
     let mut use_dse = true;
@@ -85,7 +159,13 @@ fn main() {
     let driver = Pom::new();
     let opts = CompileOptions::default();
     let dse = if use_dse {
-        Some(auto_dse(&f, &opts))
+        match auto_dse(&f, &opts) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("DSE failed: {e}");
+                std::process::exit(1);
+            }
+        }
     } else {
         None
     };
@@ -121,6 +201,17 @@ fn main() {
                 println!(
                     "DSE: {} candidate(s) estimated, {} lint-pruned before estimation",
                     r.stats.estimated, r.stats.lint_pruned
+                );
+                println!(
+                    "DSE cache: {} hit(s), {} miss(es); {} candidate(s) evaluated in parallel",
+                    r.stats.cache_hits, r.stats.cache_misses, r.stats.parallel_evaluated
+                );
+                println!(
+                    "DSE phases: stage1 {:.3} s, stage2 {:.3} s (lowering {:.3} s, estimation {:.3} s)",
+                    r.stats.stage1_time.as_secs_f64(),
+                    r.stats.stage2_time.as_secs_f64(),
+                    r.stats.lowering_time.as_secs_f64(),
+                    r.stats.estimation_time.as_secs_f64()
                 );
             }
             if report.has_errors() {

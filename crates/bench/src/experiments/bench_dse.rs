@@ -1,0 +1,288 @@
+//! `bench-dse` — the machine-readable DSE performance harness.
+//!
+//! Runs the Table III + Table V kernel suite twice: once with the seed's
+//! serial, uncached cost profile (`DseConfig::serial_uncached`) and once
+//! with the performance layer on (compile/estimate cache + parallel
+//! candidate evaluation + a cross-kernel worker pool). Verifies that both
+//! runs produce byte-identical schedules/QoR, and renders the results as
+//! a table and as `BENCH_dse.json`, so the DSE-time trajectory (the
+//! paper's "DSE Time(s)" column) is tracked across PRs.
+
+use crate::experiments::common::{paper_options, Table};
+use crate::kernels;
+use pom::{auto_dse_with, DseConfig, DseResult, Function};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One kernel's before/after measurements.
+#[derive(Clone, Debug)]
+pub struct KernelBench {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Wall seconds of the serial, uncached search (seed profile).
+    pub serial_s: f64,
+    /// Wall seconds of the cached, parallel search.
+    pub fast_s: f64,
+    /// `serial_s / fast_s`.
+    pub speedup: f64,
+    /// Schedules, groups, and QoR of both searches are byte-identical.
+    pub identical: bool,
+    /// Candidates fully estimated by the fast search.
+    pub estimated: usize,
+    /// Candidates discarded by the lint prescreen.
+    pub lint_pruned: usize,
+    /// Cache lookups answered from memory.
+    pub cache_hits: usize,
+    /// Cache lookups that computed their value.
+    pub cache_misses: usize,
+    /// Candidates evaluated inside concurrent batches.
+    pub parallel_evaluated: usize,
+    /// Fast-search phase breakdown, in seconds.
+    pub stage1_s: f64,
+    /// Stage-2 search wall seconds.
+    pub stage2_s: f64,
+    /// Seconds inside schedule replay + dependence analysis + lowering.
+    pub lowering_s: f64,
+    /// Seconds inside QoR estimation.
+    pub estimation_s: f64,
+}
+
+/// The whole suite's measurements.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Per-kernel rows, in suite order.
+    pub rows: Vec<KernelBench>,
+    /// Sum of the serial runs' wall seconds.
+    pub serial_total_s: f64,
+    /// Wall seconds of the fast runs dispatched across the worker pool.
+    pub fast_wall_s: f64,
+    /// `serial_total_s / fast_wall_s` — the headline number.
+    pub total_speedup: f64,
+    /// Worker threads used by the cross-kernel pool.
+    pub pool_workers: usize,
+}
+
+/// The Table III (typical HLS) + Table V (image + DNN) kernel suite.
+/// `size` scales the polyhedral problem sizes; the DNN models always run
+/// at scale 1 (their cost is in statement count, not extents).
+pub fn suite(size: usize) -> Vec<(&'static str, Function)> {
+    vec![
+        ("gemm", kernels::gemm(size)),
+        ("bicg", kernels::bicg(size)),
+        ("gesummv", kernels::gesummv(size)),
+        ("2mm", kernels::mm2(size)),
+        ("3mm", kernels::mm3(size)),
+        ("edge_detect", kernels::edge_detect(size)),
+        ("gaussian", kernels::gaussian(size)),
+        ("blur", kernels::blur(size)),
+        ("vgg16", kernels::vgg16(1)),
+        ("resnet18", kernels::resnet18(1)),
+    ]
+}
+
+/// True when two DSE results are byte-identical where it matters: the
+/// emitted schedule, the group configurations, and the QoR.
+pub fn results_identical(a: &DseResult, b: &DseResult) -> bool {
+    a.function.to_string() == b.function.to_string()
+        && a.groups == b.groups
+        && a.compiled.qor == b.compiled.qor
+}
+
+/// Dispatches `jobs` across up to `workers` scoped threads, returning
+/// results in job order.
+fn pool_run<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                *slots[i].lock().expect("slot") = Some(v);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot").expect("worker filled slot"))
+        .collect()
+}
+
+/// Runs the suite at `size` and returns the full report.
+pub fn run_suite(size: usize) -> BenchReport {
+    let opts = paper_options();
+    let suite = suite(size);
+    let serial_cfg = DseConfig::serial_uncached();
+    let fast_cfg = DseConfig::default();
+    let pool_workers = fast_cfg.effective_workers();
+
+    // Serial baseline: one kernel at a time, seed cost profile.
+    let serial: Vec<(f64, DseResult)> = suite
+        .iter()
+        .map(|(_, f)| {
+            let t = Instant::now();
+            let r = auto_dse_with(f, &opts, &serial_cfg).expect("DSE compiles");
+            (t.elapsed().as_secs_f64(), r)
+        })
+        .collect();
+
+    // Fast mode: per-kernel DSE dispatched across the worker pool, each
+    // search caching + evaluating candidates in parallel.
+    let t_pool = Instant::now();
+    let fast: Vec<(f64, DseResult)> = pool_run(suite.len(), pool_workers, |i| {
+        let t = Instant::now();
+        let r = auto_dse_with(&suite[i].1, &opts, &fast_cfg).expect("DSE compiles");
+        (t.elapsed().as_secs_f64(), r)
+    });
+    let fast_wall_s = t_pool.elapsed().as_secs_f64();
+
+    let rows: Vec<KernelBench> = suite
+        .iter()
+        .zip(serial.iter())
+        .zip(fast.iter())
+        .map(|(((name, _), (ss, sr)), (fs, fr))| KernelBench {
+            kernel: name,
+            serial_s: *ss,
+            fast_s: *fs,
+            speedup: ss / fs.max(1e-9),
+            identical: results_identical(sr, fr),
+            estimated: fr.stats.estimated,
+            lint_pruned: fr.stats.lint_pruned,
+            cache_hits: fr.stats.cache_hits,
+            cache_misses: fr.stats.cache_misses,
+            parallel_evaluated: fr.stats.parallel_evaluated,
+            stage1_s: fr.stats.stage1_time.as_secs_f64(),
+            stage2_s: fr.stats.stage2_time.as_secs_f64(),
+            lowering_s: fr.stats.lowering_time.as_secs_f64(),
+            estimation_s: fr.stats.estimation_time.as_secs_f64(),
+        })
+        .collect();
+
+    let serial_total_s: f64 = rows.iter().map(|r| r.serial_s).sum();
+    BenchReport {
+        total_speedup: serial_total_s / fast_wall_s.max(1e-9),
+        rows,
+        serial_total_s,
+        fast_wall_s,
+        pool_workers,
+    }
+}
+
+fn json_f(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// Serializes the report as `BENCH_dse.json` (no external deps; the
+/// format is flat enough to hand-roll).
+pub fn to_json(r: &BenchReport) -> String {
+    let mut s = String::from("{\n  \"kernels\": [\n");
+    for (i, k) in r.rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"kernel\": \"{}\", \"serial_s\": {}, \"fast_s\": {}, \"speedup\": {}, \
+             \"identical\": {}, \"estimated\": {}, \"lint_pruned\": {}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"parallel_evaluated\": {}, \"stage1_s\": {}, \
+             \"stage2_s\": {}, \"lowering_s\": {}, \"estimation_s\": {}}}",
+            k.kernel,
+            json_f(k.serial_s),
+            json_f(k.fast_s),
+            json_f(k.speedup),
+            k.identical,
+            k.estimated,
+            k.lint_pruned,
+            k.cache_hits,
+            k.cache_misses,
+            k.parallel_evaluated,
+            json_f(k.stage1_s),
+            json_f(k.stage2_s),
+            json_f(k.lowering_s),
+            json_f(k.estimation_s),
+        );
+        s.push_str(if i + 1 < r.rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        s,
+        "  ],\n  \"serial_total_s\": {},\n  \"fast_wall_s\": {},\n  \"total_speedup\": {},\n  \
+         \"pool_workers\": {}\n}}\n",
+        json_f(r.serial_total_s),
+        json_f(r.fast_wall_s),
+        json_f(r.total_speedup),
+        r.pool_workers,
+    );
+    s
+}
+
+/// Renders the report as an aligned table (the human-readable view).
+pub fn render(r: &BenchReport) -> String {
+    let mut t = Table::new(
+        "DSE performance — serial seed vs parallel + memoized",
+        &[
+            "Kernel",
+            "Serial (s)",
+            "Fast (s)",
+            "Speedup",
+            "Identical",
+            "Estimated",
+            "Pruned",
+            "Hits",
+            "Misses",
+        ],
+    );
+    for k in &r.rows {
+        t.row(&[
+            k.kernel.to_string(),
+            format!("{:.3}", k.serial_s),
+            format!("{:.3}", k.fast_s),
+            format!("{:.2}x", k.speedup),
+            k.identical.to_string(),
+            k.estimated.to_string(),
+            k.lint_pruned.to_string(),
+            k.cache_hits.to_string(),
+            k.cache_misses.to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    let _ = writeln!(
+        out,
+        "total: serial {:.3} s, fast wall {:.3} s, speedup {:.2}x ({} pool worker(s))",
+        r.serial_total_s, r.fast_wall_s, r.total_speedup, r.pool_workers
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_is_identical_and_json_well_formed() {
+        // A 2-kernel slice of the suite at a tiny size keeps this fast.
+        let opts = paper_options();
+        let serial_cfg = DseConfig::serial_uncached();
+        let fast_cfg = DseConfig::default();
+        for f in [kernels::gemm(32), kernels::bicg(32)] {
+            let a = auto_dse_with(&f, &opts, &serial_cfg).expect("DSE compiles");
+            let b = auto_dse_with(&f, &opts, &fast_cfg).expect("DSE compiles");
+            assert!(results_identical(&a, &b), "{} diverged", f.name());
+            assert!(b.stats.cache_hits > 0, "cache never hit");
+        }
+        let report = BenchReport {
+            rows: vec![],
+            serial_total_s: 1.0,
+            fast_wall_s: 0.5,
+            total_speedup: 2.0,
+            pool_workers: 4,
+        };
+        let json = to_json(&report);
+        assert!(json.contains("\"total_speedup\": 2.000000"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

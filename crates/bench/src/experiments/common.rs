@@ -63,7 +63,7 @@ fn tiles_string(groups: &[GroupConfig]) -> String {
 /// Evaluates POM on a kernel.
 pub fn run_pom(f: &Function, opts: &CompileOptions) -> FrameworkRow {
     let base = baselines::baseline_compiled(f, opts);
-    let r = auto_dse(f, opts);
+    let r = auto_dse(f, opts).expect("DSE compiles");
     let q = &r.compiled.qor;
     FrameworkRow {
         framework: "POM".into(),

@@ -58,7 +58,7 @@ pub fn results(n: usize) -> Vec<Row> {
         let f = gemm_typed(n, dtype);
         let opts = CompileOptions::for_function(&f);
         let base = baselines::baseline_compiled(&f, &opts);
-        let r = auto_dse(&f, &opts);
+        let r = auto_dse(&f, &opts).expect("DSE compiles");
         Row {
             dtype,
             speedup: r.compiled.qor.speedup_over(&base.qor),

@@ -32,7 +32,7 @@ pub fn results(size: usize) -> Vec<Point> {
             ..Default::default()
         };
         let base = baselines::baseline_compiled(&f, &opts);
-        let pom = auto_dse(&f, &opts);
+        let pom = auto_dse(&f, &opts).expect("DSE compiles");
         out.push(Point {
             framework: "POM",
             constraint: pct,

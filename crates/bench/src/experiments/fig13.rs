@@ -35,7 +35,7 @@ fn layer_points(
     // POM: auto-DSE, reuse composition. Per-layer resources are
     // recomputed on the stage-1-transformed function the groups were
     // planned on.
-    let pom = auto_dse(f, opts);
+    let pom = auto_dse(f, opts).expect("DSE compiles");
     let stage1 = pom::dse::stage1::dependence_aware_transform(f, 8);
     let mut pom_points = Vec::new();
     let mut acc = 0u64;

@@ -76,7 +76,7 @@ pub fn ablate(name: &'static str, f: &Function) -> Vec<Point> {
     );
 
     // Full POM: stage 1 + stage 2.
-    let full = auto_dse(f, &opts);
+    let full = auto_dse(f, &opts).expect("DSE compiles");
     push("full POM (+LI/LS/LF/LSK)", &full.compiled.qor);
     out
 }

@@ -31,7 +31,7 @@ pub fn results(size: usize) -> Vec<Row> {
     ];
     let mut out = Vec::new();
     for (name, f) in cases {
-        let r = auto_dse(&f, &opts);
+        let r = auto_dse(&f, &opts).expect("DSE compiles");
         let mut auto_fn = f.clone();
         auto_fn.auto_dse();
         out.push(Row {

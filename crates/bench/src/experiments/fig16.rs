@@ -37,7 +37,7 @@ pub fn results(t: usize, n: usize) -> Comparison {
     let f = kernels::jacobi1d(t, n);
     let base = baselines::baseline_compiled(&f, &opts);
     let manual = compile(&manual_schedule(t, n), &opts).expect("manual schedule compiles");
-    let auto = auto_dse(&f, &opts);
+    let auto = auto_dse(&f, &opts).expect("DSE compiles");
     Comparison {
         manual_speedup: manual.qor.speedup_over(&base.qor),
         auto_speedup: auto.compiled.qor.speedup_over(&base.qor),

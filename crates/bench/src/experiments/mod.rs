@@ -15,7 +15,9 @@
 //! | [`fig15`] | Fig. 15 — lines-of-code comparison |
 //! | [`fig16`] | Fig. 16 — Jacobi-1d DSL walkthrough |
 //! | [`ext_dtypes`] | Extension — data-type customization (Table I capability) |
+//! | [`bench_dse`] | DSE perf harness — serial seed vs parallel + memoized |
 
+pub mod bench_dse;
 pub mod common;
 pub mod ext_dtypes;
 pub mod fig02;

@@ -50,7 +50,7 @@ pub fn results(size: usize) -> Vec<Row> {
     let f = kernels::bicg(size);
     let base = baselines::baseline_compiled(&f, &opts);
     let manual = compile(&manual_schedule(size), &opts).expect("manual schedule compiles");
-    let dse = auto_dse(&f, &opts);
+    let dse = auto_dse(&f, &opts).expect("DSE compiles");
     let row = |design, q: &pom::QoR| Row {
         design,
         cycles: q.latency,

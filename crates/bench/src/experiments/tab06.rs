@@ -30,7 +30,7 @@ pub fn results(size: usize) -> Vec<Row> {
     ];
     let mut out = Vec::new();
     for (name, f) in apps {
-        let pom = auto_dse(&f, &opts);
+        let pom = auto_dse(&f, &opts).expect("DSE compiles");
         let pom_tiles = pom
             .groups
             .iter()

@@ -41,7 +41,7 @@ pub fn results(t: usize, n: usize) -> Vec<Row> {
     let mut out = Vec::new();
     for (name, f) in stencils(t, n) {
         let base = baselines::baseline_compiled(&f, &opts);
-        let pom = auto_dse(&f, &opts);
+        let pom = auto_dse(&f, &opts).expect("DSE compiles");
         let sh = baselines::scalehls_like(&f, &opts, n);
         let used_skew = pom
             .function

@@ -376,7 +376,7 @@ mod extra_tests {
         let opts = CompileOptions::default();
         for f in [atax(64), mvt(64), doitgen(8, 8, 8)] {
             let base = baselines::baseline_compiled(&f, &opts);
-            let r = auto_dse(&f, &opts);
+            let r = auto_dse(&f, &opts).expect("DSE compiles");
             let s = r.compiled.qor.speedup_over(&base.qor);
             assert!(s > 5.0, "{}: speedup {s}", f.name());
             assert!(r.compiled.qor.resources.dsp <= 220, "{}", f.name());
@@ -400,7 +400,7 @@ mod extra_tests {
         use pom_dsl::{reference_execute, MemoryState};
         let f = atax(10);
         let opts = CompileOptions::default();
-        let r = auto_dse(&f, &opts);
+        let r = auto_dse(&f, &opts).expect("DSE compiles");
         let compiled = pom_dse::compile(&r.function, &opts).expect("DSE schedule compiles");
         let mut m1 = MemoryState::for_function_seeded(&f, 3);
         reference_execute(&f, &mut m1);

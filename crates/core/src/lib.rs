@@ -54,7 +54,7 @@ pub use pom_poly as poly;
 
 pub use pom_dse::{
     auto_dse, auto_dse_with, baselines, compile, lint_report, CompileError, CompileOptions,
-    Compiled, DseConfig, DseResult, DseStats, GroupConfig,
+    Compiled, DseCache, DseConfig, DseResult, DseStats, GroupConfig,
 };
 pub use pom_dsl::{
     reference_execute, ArrayData, Compute, DataType, Expr, Function, MemoryState, PartitionStyle,
@@ -159,7 +159,7 @@ impl Pom {
     pub fn codegen(&self, f: &Function) -> CodegenResult {
         let baseline = pom_dse::baselines::baseline_compiled(f, &self.options);
         let (function, compiled, dse_time) = if f.wants_auto_dse() {
-            let r = pom_dse::auto_dse(f, &self.options);
+            let r = pom_dse::auto_dse(f, &self.options).expect("DSE compiles");
             (r.function, r.compiled, r.dse_time)
         } else {
             (f.clone(), self.compile(f), Default::default())

@@ -448,7 +448,7 @@ mod tests {
         let opts = CompileOptions::default();
         let base = baseline_compiled(&f, &opts);
         let sh = scalehls_like(&f, &opts, 64);
-        let pom = auto_dse(&f, &opts);
+        let pom = auto_dse(&f, &opts).expect("DSE compiles");
         let s_sh = sh.compiled.qor.speedup_over(&base.qor);
         let s_pom = pom.compiled.qor.speedup_over(&base.qor);
         // Paper Table III: GEMM speedups are within 1% of each other.
@@ -468,7 +468,7 @@ mod tests {
         let opts = CompileOptions::default();
         let base = baseline_compiled(&f, &opts);
         let sh = scalehls_like(&f, &opts, 64);
-        let pom = auto_dse(&f, &opts);
+        let pom = auto_dse(&f, &opts).expect("DSE compiles");
         let s_sh = sh.compiled.qor.speedup_over(&base.qor);
         let s_pom = pom.compiled.qor.speedup_over(&base.qor);
         assert!(
@@ -524,7 +524,7 @@ mod tests {
         );
         let opts = CompileOptions::default();
         let sh = scalehls_like(&f, &opts, 64);
-        let pom = auto_dse(&f, &opts);
+        let pom = auto_dse(&f, &opts).expect("DSE compiles");
         let base = baseline_compiled(&f, &opts);
         let s_sh = sh.compiled.qor.speedup_over(&base.qor);
         let s_pom = pom.compiled.qor.speedup_over(&base.qor);

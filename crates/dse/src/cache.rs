@@ -1,0 +1,471 @@
+//! Memoization for the DSE hot path: compile/estimate results keyed by a
+//! structural hash of (stage-1 function fingerprint, `GroupConfig`), plus
+//! a full-function compile cache that lets the final-repair walk-back
+//! loop, the post-retarget recompile in `auto_dse_with`, and repeated
+//! emissions reuse prior results instead of recompiling.
+//!
+//! Thread-safety: every map sits behind its own `Mutex` and the counters
+//! are atomics, so one [`DseCache`] can be shared by the scoped worker
+//! threads of the parallel candidate evaluation. Entries are pure
+//! functions of their key (the fingerprint covers placeholders, computes,
+//! *and* the recorded schedule), so a racing double-compute writes the
+//! same value twice — correctness never depends on who wins.
+//!
+//! A cache must not outlive the `CompileOptions` it was populated under:
+//! cached values depend on the cost model, device, and sharing policy.
+//! `auto_dse_with` therefore creates one cache per search.
+
+use crate::compile::{compile_timed, CompileError, CompileOptions, Compiled};
+use crate::stage2::GroupConfig;
+use pom_dsl::Function;
+use pom_hls::{DepSummary, ResourceUsage};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Structural fingerprint of a function: placeholders, computes, and the
+/// recorded schedule, as rendered by the DSL's canonical `Display` form.
+/// Two functions with equal fingerprints lower to the same design.
+pub fn fingerprint(f: &Function) -> u64 {
+    let mut h = DefaultHasher::new();
+    f.to_string().hash(&mut h);
+    h.finish()
+}
+
+/// Alpha-renamed structural fingerprint: like [`fingerprint`], but
+/// declared names (the function, placeholders, computes, iterators, and
+/// schedule-generated loops) are replaced by indices in order of first
+/// appearance in the compute/schedule section, so two sub-functions that
+/// differ only in naming — e.g. the repeated convolution layers of a DNN,
+/// or the symmetric matmuls of 3MM — share one fingerprint.
+///
+/// Soundness: QoR estimation consumes names only through lookups that are
+/// internal to the function (memref banks, dependence chains), so a
+/// consistent renaming cannot change `(latency, resources)` or the
+/// pipeline-II verdict. Placeholder declarations keep their extents and
+/// element types verbatim (a renamed layer with different extents still
+/// misses), and only *declared* names are renamed — an unrecognized token
+/// stays literal, which can only cause a cache miss, never a false merge.
+/// Keys are comparable only under one placeholder environment, which the
+/// per-search cache lifetime guarantees.
+pub fn canonical_fingerprint(f: &Function) -> u64 {
+    let mut declared: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    declared.insert(f.name());
+    for p in f.placeholders() {
+        declared.insert(p.name());
+    }
+    for c in f.computes() {
+        declared.insert(c.name());
+        for v in c.iters() {
+            declared.insert(v.name());
+        }
+    }
+    use pom_dsl::Primitive as P;
+    for p in f.schedule() {
+        match p {
+            P::Interchange { stmt, i, j } => declared.extend([stmt.as_str(), i, j]),
+            P::Split {
+                stmt, i, i0, i1, ..
+            } => declared.extend([stmt.as_str(), i, i0, i1]),
+            P::Tile {
+                stmt,
+                i,
+                j,
+                i0,
+                j0,
+                i1,
+                j1,
+                ..
+            } => declared.extend([stmt.as_str(), i, j, i0, j0, i1, j1]),
+            P::Skew {
+                stmt, i, j, i2, j2, ..
+            } => declared.extend([stmt.as_str(), i, j, i2, j2]),
+            P::After { stmt, other, level } => {
+                declared.extend([stmt.as_str(), other]);
+                if let Some(l) = level {
+                    declared.insert(l);
+                }
+            }
+            P::Pipeline { stmt, loop_iv, .. } | P::Unroll { stmt, loop_iv, .. } => {
+                declared.extend([stmt.as_str(), loop_iv]);
+            }
+            P::Partition { array, .. } => {
+                declared.insert(array);
+            }
+            P::AutoDse => {}
+        }
+    }
+
+    let text = f.to_string();
+    let mut idx: HashMap<String, usize> = HashMap::new();
+    let mut h = DefaultHasher::new();
+    // Pass 1 — compute + schedule lines assign canonical indices.
+    // Pass 2 — placeholder declarations: referenced ones carry their
+    // index, unreferenced ones keep extents/dtype but drop the name.
+    let mut decls: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if t.is_empty() || t == "}" || t.starts_with("function ") {
+            continue;
+        }
+        if t.ends_with("];") && !t.contains('(') && !t.contains('=') {
+            decls.push(line);
+            continue;
+        }
+        hash_canon_line(line, &declared, true, &mut idx, &mut h);
+    }
+    // Declarations are a set, not a sequence: hash each line separately
+    // and combine the sorted multiset, so the relative order of referenced
+    // vs. anonymous declarations cannot split alpha-equivalent functions.
+    let mut decl_hashes: Vec<u64> = decls
+        .into_iter()
+        .map(|line| {
+            let mut dh = DefaultHasher::new();
+            hash_canon_line(line, &declared, false, &mut idx, &mut dh);
+            dh.finish()
+        })
+        .collect();
+    decl_hashes.sort_unstable();
+    decl_hashes.hash(&mut h);
+    h.finish()
+}
+
+/// Hashes one display line with declared names replaced by canonical
+/// indices. `assign` controls whether unseen declared names get a fresh
+/// index (compute/schedule pass) or an anonymous marker (declaration
+/// pass — an unreferenced placeholder's name is irrelevant).
+fn hash_canon_line(
+    line: &str,
+    declared: &std::collections::HashSet<&str>,
+    assign: bool,
+    idx: &mut HashMap<String, usize>,
+    h: &mut DefaultHasher,
+) {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let tok = &line[start..i];
+            if declared.contains(tok) {
+                if let Some(&n) = idx.get(tok) {
+                    (1u8, n).hash(h);
+                } else if assign {
+                    let n = idx.len();
+                    idx.insert(tok.to_string(), n);
+                    (1u8, n).hash(h);
+                } else {
+                    2u8.hash(h);
+                }
+            } else {
+                (3u8, tok).hash(h);
+            }
+        } else {
+            (4u8, c).hash(h);
+            i += 1;
+        }
+    }
+    5u8.hash(h);
+}
+
+/// Thread-safe accumulator for the per-phase wall time spent inside
+/// `compile` calls, shared across the search and its worker threads.
+#[derive(Debug, Default)]
+pub struct PhaseAccum {
+    lowering_ns: AtomicU64,
+    estimation_ns: AtomicU64,
+}
+
+impl PhaseAccum {
+    /// Adds one compile's phase breakdown.
+    pub fn add(&self, t: &crate::compile::PhaseTimes) {
+        self.lowering_ns
+            .fetch_add(t.lowering.as_nanos() as u64, Ordering::Relaxed);
+        self.estimation_ns
+            .fetch_add(t.estimation.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Total time spent in schedule replay + dependence analysis +
+    /// lowering.
+    pub fn lowering(&self) -> Duration {
+        Duration::from_nanos(self.lowering_ns.load(Ordering::Relaxed))
+    }
+
+    /// Total time spent in QoR estimation.
+    pub fn estimation(&self) -> Duration {
+        Duration::from_nanos(self.estimation_ns.load(Ordering::Relaxed))
+    }
+}
+
+/// The DSE compile/estimate cache (see module docs).
+#[derive(Debug, Default)]
+pub struct DseCache {
+    /// `pipeline_infeasible` verdicts per scheduled-group canonical key.
+    infeasible: Mutex<HashMap<u64, bool>>,
+    /// `(latency, resources)` of a group compiled as a sub-function,
+    /// keyed by the scheduled sub-function's [`canonical_fingerprint`] —
+    /// structurally identical groups (repeated DNN layers, symmetric
+    /// matmuls) share entries.
+    group_qor: Mutex<HashMap<u64, (u64, ResourceUsage)>>,
+    /// Per-group dependence-summary templates keyed by the *untiled*
+    /// scheduled sub-function's plain [`fingerprint`] (names must match
+    /// the group exactly, so no alpha-renaming here). `None` marks a
+    /// group whose template is unsafe to reuse — its candidates fall
+    /// back to full per-candidate dependence analysis.
+    dep_templates: Mutex<HashMap<u64, Option<Arc<DepSummary>>>>,
+    /// BRAM18K usage of the full schedule per (fingerprint, groups).
+    bram: Mutex<HashMap<(u64, Vec<GroupConfig>), u64>>,
+    /// Full-function compiles keyed by the *scheduled* fingerprint.
+    full: Mutex<HashMap<u64, Arc<Compiled>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl DseCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lookups answered from memory so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute their value.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Memoized pipeline-II feasibility verdict for one scheduled group,
+    /// keyed by its [`canonical_fingerprint`].
+    pub fn memo_infeasible(&self, key: u64, compute: impl FnOnce() -> bool) -> bool {
+        if let Some(&v) = self.infeasible.lock().expect("lock").get(&key) {
+            self.record(true);
+            return v;
+        }
+        let v = compute();
+        self.record(false);
+        self.infeasible.lock().expect("lock").insert(key, v);
+        v
+    }
+
+    /// Memoized `(latency, resources)` of one group's sub-function
+    /// compile, keyed by its [`canonical_fingerprint`]. Errors are never
+    /// cached — they abort the search anyway.
+    pub fn memo_group_qor(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<(u64, ResourceUsage), CompileError>,
+    ) -> Result<(u64, ResourceUsage), CompileError> {
+        if let Some(&v) = self.group_qor.lock().expect("lock").get(&key) {
+            self.record(true);
+            return Ok(v);
+        }
+        let v = compute()?;
+        self.record(false);
+        self.group_qor.lock().expect("lock").insert(key, v);
+        Ok(v)
+    }
+
+    /// Memoized dependence-summary template for one group, keyed by the
+    /// plain [`fingerprint`] of its *untiled* scheduled sub-function.
+    /// `compute` returns `None` when the template cannot soundly stand in
+    /// for the tiled candidates' summaries (see `dep_template` in
+    /// `stage2`); the verdict itself is memoized either way. Template
+    /// traffic is deliberately not counted in `hits`/`misses` — those
+    /// report candidate-level memoization only.
+    pub fn memo_dep_template(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Option<DepSummary>,
+    ) -> Option<Arc<DepSummary>> {
+        if let Some(t) = self.dep_templates.lock().expect("lock").get(&key) {
+            return t.clone();
+        }
+        let t = compute().map(Arc::new);
+        self.dep_templates
+            .lock()
+            .expect("lock")
+            .insert(key, t.clone());
+        t
+    }
+
+    /// Memoized BRAM18K usage of the full schedule under `groups`.
+    pub fn memo_bram(&self, fp: u64, groups: &[GroupConfig], compute: impl FnOnce() -> u64) -> u64 {
+        let key = (fp, groups.to_vec());
+        if let Some(&v) = self.bram.lock().expect("lock").get(&key) {
+            self.record(true);
+            return v;
+        }
+        let v = compute();
+        self.record(false);
+        self.bram.lock().expect("lock").insert(key, v);
+        v
+    }
+
+    /// Compiles a fully scheduled function through the cache: the repair
+    /// walk-back loop, `auto_dse_with`'s final compile, and any repeated
+    /// emission of the same schedule share one compile. When `deps` is
+    /// given it stands in for the function's dependence summary — the
+    /// dominant compile cost — so a repair/retarget step that only changed
+    /// tile factors or pipeline IIs skips the polyhedral analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`CompileError`] (uncached).
+    pub fn compile_full(
+        &self,
+        f: &Function,
+        opts: &CompileOptions,
+        acc: &PhaseAccum,
+        deps: Option<&DepSummary>,
+    ) -> Result<Arc<Compiled>, CompileError> {
+        let fp = fingerprint(f);
+        if let Some(c) = self.full.lock().expect("lock").get(&fp) {
+            self.record(true);
+            return Ok(Arc::clone(c));
+        }
+        let (c, times) = match deps {
+            Some(d) => {
+                let t0 = std::time::Instant::now();
+                let stmts = crate::compile::apply_schedule(f);
+                let analysis = t0.elapsed();
+                let (c, mut times) = crate::compile::compile_prepared(f, stmts, d.clone(), opts)?;
+                times.lowering += analysis;
+                (c, times)
+            }
+            None => compile_timed(f, opts)?,
+        };
+        acc.add(&times);
+        self.record(false);
+        let c = Arc::new(c);
+        self.full.lock().expect("lock").insert(fp, Arc::clone(&c));
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pom_dsl::DataType;
+
+    fn tiny() -> Function {
+        let mut f = Function::new("tiny");
+        let i = f.var("i", 0, 8);
+        let x = f.placeholder("X", &[8], DataType::F32);
+        let y = f.placeholder("Y", &[8], DataType::F32);
+        f.compute(
+            "S",
+            std::slice::from_ref(&i),
+            x.at(&[&i]) * 2.0,
+            y.access(&[&i]),
+        );
+        f
+    }
+
+    #[test]
+    fn fingerprint_tracks_schedule_changes() {
+        let f = tiny();
+        let a = fingerprint(&f);
+        let mut g = f.clone();
+        assert_eq!(a, fingerprint(&g), "clone preserves the fingerprint");
+        g.pipeline("S", "i", 1);
+        assert_ne!(a, fingerprint(&g), "schedule edits change it");
+    }
+
+    #[test]
+    fn full_compile_is_memoized() {
+        let cache = DseCache::new();
+        let acc = PhaseAccum::default();
+        let f = tiny();
+        let opts = CompileOptions::default();
+        let a = cache.compile_full(&f, &opts, &acc, None).expect("compiles");
+        assert_eq!(cache.misses(), 1);
+        let b = cache.compile_full(&f, &opts, &acc, None).expect("compiles");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(a.qor, b.qor);
+        assert!(acc.lowering() > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_memo_computes_once() {
+        let cache = DseCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = cache.memo_infeasible(7, || {
+                calls += 1;
+                false
+            });
+            assert!(!v);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.hits(), 2);
+    }
+
+    /// Builds a 2-statement function; `first` selects which statement is
+    /// kept, mimicking two alpha-equivalent sub-functions.
+    fn twin(first: bool) -> Function {
+        let mut f = Function::new("twin");
+        let n = 16usize;
+        let a = f.placeholder("A", &[n, n], DataType::F32);
+        let b = f.placeholder("B", &[n, n], DataType::F32);
+        let (name, arr) = if first { ("S1", &a) } else { ("S2", &b) };
+        let i = f.var(&format!("{name}_i"), 0, n as i64);
+        let j = f.var(&format!("{name}_j"), 0, n as i64);
+        f.compute(
+            name,
+            &[i.clone(), j.clone()],
+            arr.at(&[&i, &j]) * 2.0,
+            arr.access(&[&i, &j]),
+        );
+        f.pipeline(name, &format!("{name}_j"), 1);
+        f
+    }
+
+    #[test]
+    fn canonical_fingerprint_merges_alpha_equivalent_functions() {
+        let a = twin(true);
+        let b = twin(false);
+        assert_ne!(fingerprint(&a), fingerprint(&b), "names differ verbatim");
+        assert_eq!(
+            canonical_fingerprint(&a),
+            canonical_fingerprint(&b),
+            "alpha-equivalent functions share the canonical fingerprint"
+        );
+        // A structural difference (extents) must still separate them.
+        let mut c = Function::new("twin");
+        let m = 8usize;
+        let x = c.placeholder("A", &[m, m], DataType::F32);
+        let _ = c.placeholder("B", &[16, 16], DataType::F32);
+        let i = c.var("S1_i", 0, m as i64);
+        let j = c.var("S1_j", 0, m as i64);
+        c.compute(
+            "S1",
+            &[i.clone(), j.clone()],
+            x.at(&[&i, &j]) * 2.0,
+            x.access(&[&i, &j]),
+        );
+        c.pipeline("S1", "S1_j", 1);
+        assert_ne!(
+            canonical_fingerprint(&a),
+            canonical_fingerprint(&c),
+            "different extents must not merge"
+        );
+    }
+}

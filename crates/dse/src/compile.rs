@@ -333,6 +333,17 @@ pub fn lint_report(f: &Function, c: &Compiled, opts: &CompileOptions) -> LintRep
     Linter::standard().run(&cx)
 }
 
+/// Wall-clock breakdown of one [`compile_timed`] call: schedule
+/// application + dependence analysis + lowering on one side, estimation
+/// on the other — the per-phase times surfaced through `DseStats`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Schedule replay, dependence analysis, and affine lowering.
+    pub lowering: std::time::Duration,
+    /// QoR estimation.
+    pub estimation: std::time::Duration,
+}
+
 /// Full pipeline: schedule application, dependence analysis, lowering,
 /// estimation — with inter-pass linting when `opts.lint` is set.
 ///
@@ -342,8 +353,39 @@ pub fn lint_report(f: &Function, c: &Compiled, opts: &CompileOptions) -> LintRep
 /// breaks it, or (with `opts.lint`) the result carries error-severity
 /// lint diagnostics.
 pub fn compile(f: &Function, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    compile_timed(f, opts).map(|(c, _)| c)
+}
+
+/// [`compile`] that also reports where the wall time went, so DSE can
+/// attribute its cost to lowering vs estimation.
+///
+/// # Errors
+///
+/// Same failure modes as [`compile`].
+pub fn compile_timed(
+    f: &Function,
+    opts: &CompileOptions,
+) -> Result<(Compiled, PhaseTimes), CompileError> {
+    let t0 = std::time::Instant::now();
     let stmts = apply_schedule(f);
     let deps = build_dep_summary(f, &stmts, &opts.model);
+    let analysis = t0.elapsed();
+    let (c, mut times) = compile_prepared(f, stmts, deps, opts)?;
+    times.lowering += analysis;
+    Ok((c, times))
+}
+
+/// The tail of [`compile_timed`] for callers that already hold the
+/// transformed statements and dependence summary (the DSE cache computes
+/// them once per candidate and shares them between the lint prescreen and
+/// the estimate).
+pub(crate) fn compile_prepared(
+    f: &Function,
+    stmts: Vec<StmtPoly>,
+    deps: DepSummary,
+    opts: &CompileOptions,
+) -> Result<(Compiled, PhaseTimes), CompileError> {
+    let t0 = std::time::Instant::now();
     let hook: Option<pom_ir::LintHook> = if opts.lint {
         let (deps, model, device) = (deps.clone(), opts.model.clone(), opts.device.clone());
         let (src_f, src_stmts) = (f.clone(), stmts.clone());
@@ -360,13 +402,22 @@ pub fn compile(f: &Function, opts: &CompileOptions) -> Result<Compiled, CompileE
         None
     };
     let affine = lower_with_lint(f, &stmts, hook)?;
+    let lowering = t0.elapsed();
+    let t1 = std::time::Instant::now();
     let qor = estimate(&affine, &deps, &opts.model, opts.sharing);
-    Ok(Compiled {
-        affine,
-        qor,
-        deps,
-        stmts,
-    })
+    let estimation = t1.elapsed();
+    Ok((
+        Compiled {
+            affine,
+            qor,
+            deps,
+            stmts,
+        },
+        PhaseTimes {
+            lowering,
+            estimation,
+        },
+    ))
 }
 
 /// Extracts a sub-function containing only the named computes (with their

@@ -1,8 +1,9 @@
 //! The complete two-stage DSE engine (`f.auto_DSE()`).
 
-use crate::compile::{compile, CompileOptions, Compiled};
+use crate::cache::{DseCache, PhaseAccum};
+use crate::compile::{compile_timed, CompileError, CompileOptions, Compiled};
 use crate::stage1::dependence_aware_transform;
-use crate::stage2::{bottleneck_optimize_with, DseConfig, DseStats, GroupConfig};
+use crate::stage2::{bottleneck_optimize_impl, DseConfig, DseStats, GroupConfig};
 use pom_dsl::Function;
 use std::time::{Duration, Instant};
 
@@ -57,19 +58,49 @@ impl DseResult {
 
 /// Runs the two-stage DSE: dependence-aware code transformation followed
 /// by bottleneck-oriented code optimization (Section VI).
-pub fn auto_dse(f: &Function, opts: &CompileOptions) -> DseResult {
+///
+/// # Errors
+///
+/// Returns the [`CompileError`] of the first candidate or final schedule
+/// that fails to compile (consistent with [`crate::compile::compile`]).
+pub fn auto_dse(f: &Function, opts: &CompileOptions) -> Result<DseResult, CompileError> {
     auto_dse_with(f, opts, &DseConfig::default())
 }
 
 /// [`auto_dse`] under user-specified strategy parameters (Section VI-B
 /// lets designers pre-define the groups of strategies and parameters the
 /// search may use).
-pub fn auto_dse_with(f: &Function, opts: &CompileOptions, cfg: &DseConfig) -> DseResult {
+///
+/// # Errors
+///
+/// Same failure modes as [`auto_dse`].
+pub fn auto_dse_with(
+    f: &Function,
+    opts: &CompileOptions,
+    cfg: &DseConfig,
+) -> Result<DseResult, CompileError> {
     let start = Instant::now();
+    let cache = cfg.cache.then(DseCache::new);
+    let acc = PhaseAccum::default();
+    let t1 = Instant::now();
     let stage1 = dependence_aware_transform(f, cfg.stage1_max_iters);
-    let s2 = bottleneck_optimize_with(&stage1, opts, cfg);
+    let stage1_time = t1.elapsed();
+    let s2 = bottleneck_optimize_impl(&stage1, opts, cfg, cache.as_ref(), &acc)?;
     let mut scheduled = s2.function;
-    let mut compiled = compile(&scheduled, opts).expect("DSE schedule compiles");
+    // The final compiles can reuse the search's full-function dependence
+    // template: a pipeline-II retarget never changes the dependences.
+    let full_template = cache
+        .as_ref()
+        .and_then(|c| crate::stage2::full_dep_template(&stage1, &s2.groups, c, opts, &acc));
+    // The repair loop's fitting compile is still in the cache, so this
+    // lookup answers without recompiling the same schedule.
+    let mut compiled = full_compile(
+        cache.as_ref(),
+        &scheduled,
+        opts,
+        &acc,
+        full_template.as_deref(),
+    )?;
     // Align declared IIs with what the recurrences actually allow: the
     // estimator reports the achieved II regardless of the declared one,
     // but the emitted pragmas (and POM001) should not promise II targets
@@ -79,15 +110,49 @@ pub fn auto_dse_with(f: &Function, opts: &CompileOptions, cfg: &DseConfig) -> Ds
         retargeted |= scheduled.retarget_pipeline_ii(&l.iv, l.achieved_ii as i64);
     }
     if retargeted {
-        compiled = compile(&scheduled, opts).expect("retargeted schedule compiles");
+        // A genuine retarget changes the schedule's fingerprint, so this
+        // compiles at most once; a re-run over a warm cache answers here.
+        compiled = full_compile(
+            cache.as_ref(),
+            &scheduled,
+            opts,
+            &acc,
+            full_template.as_deref(),
+        )?;
     }
     let dse_time: Duration = start.elapsed();
-    DseResult {
+    let mut stats = s2.stats;
+    stats.stage1_time = stage1_time;
+    stats.lowering_time = acc.lowering();
+    stats.estimation_time = acc.estimation();
+    if let Some(c) = &cache {
+        stats.cache_hits = c.hits();
+        stats.cache_misses = c.misses();
+    }
+    Ok(DseResult {
         function: scheduled,
         compiled,
         groups: s2.groups,
-        stats: s2.stats,
+        stats,
         dse_time,
+    })
+}
+
+/// Full-function compile through the cache when one is active.
+fn full_compile(
+    cache: Option<&DseCache>,
+    f: &Function,
+    opts: &CompileOptions,
+    acc: &PhaseAccum,
+    deps: Option<&pom_hls::DepSummary>,
+) -> Result<Compiled, CompileError> {
+    match cache {
+        Some(c) => Ok((*c.compile_full(f, opts, acc, deps)?).clone()),
+        None => {
+            let (c, times) = compile_timed(f, opts)?;
+            acc.add(&times);
+            Ok(c)
+        }
     }
 }
 
@@ -121,8 +186,8 @@ mod tests {
             y.access(&[&i]),
         );
         let opts = CompileOptions::default();
-        let r = auto_dse(&f, &opts);
-        let base = compile(&crate::baselines::unoptimized(&f), &opts)
+        let r = auto_dse(&f, &opts).expect("DSE compiles");
+        let base = crate::compile::compile(&crate::baselines::unoptimized(&f), &opts)
             .expect("compiles")
             .qor;
         let speedup = r.compiled.qor.speedup_over(&base);

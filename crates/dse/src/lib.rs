@@ -16,15 +16,18 @@
 //!   ScaleHLS-like (see DESIGN.md for the substitution argument).
 
 pub mod baselines;
+pub mod cache;
 pub mod compile;
 pub mod dse;
 pub mod stage1;
 pub mod stage2;
 
 pub use baselines::{pluto_like, polsca_like, scalehls_like, unoptimized, BaselineResult};
-pub use compile::{compile, lint_report, CompileError, CompileOptions, Compiled};
+pub use cache::{canonical_fingerprint, fingerprint, DseCache, PhaseAccum};
+pub use compile::{compile, compile_timed, lint_report, CompileError, CompileOptions, Compiled};
 pub use dse::{auto_dse, auto_dse_with, DseResult};
 pub use stage1::dependence_aware_transform;
 pub use stage2::{
-    bottleneck_optimize, bottleneck_optimize_with, DseConfig, DseStats, GroupConfig, Stage2Result,
+    bottleneck_optimize, bottleneck_optimize_with, try_bottleneck_optimize_with, DseConfig,
+    DseStats, GroupConfig, Stage2Result,
 };

@@ -10,11 +10,17 @@
 //! optimization list when it reaches maximum parallelism or the next step
 //! would exceed the device's resources (the paper's exit mechanism).
 
-use crate::compile::{apply_schedule, build_dep_summary, compile, sub_function, CompileOptions};
+use crate::cache::{canonical_fingerprint, fingerprint, DseCache, PhaseAccum};
+use crate::compile::{
+    apply_schedule, build_dep_summary, compile, compile_timed, sub_function, CompileError,
+    CompileOptions,
+};
 use pom_dsl::{Function, PartitionStyle, Primitive};
 use pom_graph::DepGraph;
 use pom_poly::{DepKind, StmtPoly};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Counters reported by the stage-2 search.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -24,6 +30,22 @@ pub struct DseStats {
     pub lint_pruned: usize,
     /// Escalation candidates that were fully estimated.
     pub estimated: usize,
+    /// Compile/estimate cache lookups answered from memory.
+    pub cache_hits: usize,
+    /// Cache lookups that had to compute their value.
+    pub cache_misses: usize,
+    /// Candidates evaluated inside a concurrent batch (0 when the search
+    /// ran serially).
+    pub parallel_evaluated: usize,
+    /// Wall time of stage 1 (dependence-aware transformation).
+    pub stage1_time: Duration,
+    /// Wall time of stage 2 (bottleneck-oriented optimization).
+    pub stage2_time: Duration,
+    /// Time inside compile calls: schedule replay + dependence analysis +
+    /// affine lowering.
+    pub lowering_time: Duration,
+    /// Time inside compile calls: QoR estimation.
+    pub estimation_time: Duration,
 }
 
 /// The outcome of [`bottleneck_optimize_with`]: the fully scheduled
@@ -39,7 +61,7 @@ pub struct Stage2Result {
 }
 
 /// The tiling/unrolling configuration of one node (fusion group).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
 pub struct GroupConfig {
     /// Compute names in the group (program order).
     pub members: Vec<String>,
@@ -75,6 +97,15 @@ pub struct DseConfig {
     /// overshoot BRAM (muxing costs surface in DSP/FF/LUT), and turning
     /// this on trades peak parallelism for memory feasibility.
     pub lint_prune_bram: bool,
+    /// Memoize compile/estimate results across the search (lint
+    /// prescreen, candidate estimation, the final-repair walk-back, and
+    /// the post-retarget recompile share one cache). Off reproduces the
+    /// seed's cost profile — every step pays the full pipeline again.
+    pub cache: bool,
+    /// Worker threads for candidate evaluation: `0` = one per available
+    /// core, `1` = serial. Parallel and serial searches produce
+    /// byte-identical schedules (ties break by candidate index).
+    pub workers: usize,
 }
 
 impl Default for DseConfig {
@@ -84,6 +115,30 @@ impl Default for DseConfig {
             level_cap: 16,
             max_parallelism: 256,
             lint_prune_bram: false,
+            cache: true,
+            workers: 0,
+        }
+    }
+}
+
+impl DseConfig {
+    /// The seed's serial, uncached cost profile — the baseline the
+    /// `bench-dse` harness measures speedups against.
+    pub fn serial_uncached() -> Self {
+        DseConfig {
+            cache: false,
+            workers: 1,
+            ..DseConfig::default()
+        }
+    }
+
+    /// Effective worker count (resolves `0` to the machine's parallelism).
+    pub fn effective_workers(&self) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
         }
     }
 }
@@ -138,6 +193,36 @@ impl GroupConfig {
         }
         for &l in self.parallel.iter().rev() {
             if self.tiles[l] * 2 <= self.extents[l] {
+                let mut c = self.clone();
+                c.tiles[l] *= 2;
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// [`GroupConfig::escalation_candidates_with`] in the greedy ladder's
+    /// preference order: levels still under the per-level cap first
+    /// (innermost first), then the over-cap spills — so index 0 is
+    /// exactly the step [`GroupConfig::escalate_with`] would take, and
+    /// index-ordered tie-breaking reproduces the serial greedy trajectory
+    /// whenever candidates tie on latency.
+    pub fn escalation_candidates_preferred(&self, cfg: &DseConfig) -> Vec<GroupConfig> {
+        let mut out = Vec::new();
+        if self.parallelism() * 2 > cfg.max_parallelism {
+            return out;
+        }
+        let mut taken: Vec<usize> = Vec::new();
+        for &l in self.parallel.iter().rev() {
+            if self.tiles[l] * 2 <= self.extents[l].min(cfg.level_cap) {
+                let mut c = self.clone();
+                c.tiles[l] *= 2;
+                out.push(c);
+                taken.push(l);
+            }
+        }
+        for &l in self.parallel.iter().rev() {
+            if !taken.contains(&l) && self.tiles[l] * 2 <= self.extents[l] {
                 let mut c = self.clone();
                 c.tiles[l] *= 2;
                 out.push(c);
@@ -362,17 +447,373 @@ pub fn bottleneck_optimize(stage1_fn: &Function, opts: &CompileOptions) -> Stage
 }
 
 /// [`bottleneck_optimize`] under explicit strategy parameters.
+///
+/// # Panics
+///
+/// Panics when a DSE-generated schedule fails to compile — use
+/// [`try_bottleneck_optimize_with`] to handle the error instead.
 pub fn bottleneck_optimize_with(
     stage1_fn: &Function,
     opts: &CompileOptions,
     cfg: &DseConfig,
 ) -> Stage2Result {
+    try_bottleneck_optimize_with(stage1_fn, opts, cfg).expect("stage-2 schedule compiles")
+}
+
+/// [`bottleneck_optimize_with`] propagating compile failures.
+///
+/// # Errors
+///
+/// Returns the first [`CompileError`] (in deterministic candidate order)
+/// hit while estimating a candidate or the repaired full design.
+pub fn try_bottleneck_optimize_with(
+    stage1_fn: &Function,
+    opts: &CompileOptions,
+    cfg: &DseConfig,
+) -> Result<Stage2Result, CompileError> {
+    let cache = cfg.cache.then(DseCache::new);
+    let acc = PhaseAccum::default();
+    bottleneck_optimize_impl(stage1_fn, opts, cfg, cache.as_ref(), &acc)
+}
+
+/// One candidate's evaluation outcome.
+enum CandidateEval {
+    /// Discarded by the lint prescreen before estimation.
+    Pruned,
+    /// Fully estimated: `(latency, resources)`.
+    Estimated(u64, pom_hls::ResourceUsage),
+}
+
+/// Evaluates `0..n` with `f` on up to `workers` scoped threads, returning
+/// results in index order — the caller's selection logic is therefore
+/// independent of completion order.
+fn run_indexed<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                *slots[i].lock().expect("result slot") = Some(v);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
+/// Evaluates one escalation candidate: lint prescreen (relative to the
+/// current configuration), then estimation. The cached path computes the
+/// scheduled sub-function and its dependence summary once and shares them
+/// between the feasibility check and the estimate; the uncached path
+/// replays the seed's cost profile (separate `lint_screen` +
+/// `group_compile`, each paying schedule replay and dependence analysis).
+#[allow(clippy::too_many_arguments)]
+fn eval_candidate(
+    stage1_fn: &Function,
+    fp: u64,
+    groups: &[GroupConfig],
+    bottleneck: usize,
+    cand: &GroupConfig,
+    cur_infeasible: bool,
+    cur_bram: Option<u64>,
+    opts: &CompileOptions,
+    cfg: &DseConfig,
+    cache: Option<&DseCache>,
+    acc: &PhaseAccum,
+) -> Result<CandidateEval, CompileError> {
+    let Some(cache) = cache else {
+        // Seed-profile path: every check re-derives everything.
+        if lint_screen(
+            stage1_fn,
+            groups,
+            bottleneck,
+            cand,
+            opts,
+            cfg.lint_prune_bram,
+        ) {
+            return Ok(CandidateEval::Pruned);
+        }
+        let (l, r) = group_compile_timed(stage1_fn, cand, opts, acc)?;
+        return Ok(CandidateEval::Estimated(l, r));
+    };
+
+    // Memoized path: dependence analysis and estimation happen at most
+    // once per *canonical* scheduled sub-function — structurally identical
+    // candidates (repeated DNN layers, symmetric nests) share entries.
+    let scheduled = scheduled_group(stage1_fn, cand, acc);
+    let key = canonical_fingerprint(&scheduled);
+    let mut sched = Some(scheduled);
+    let mut prepared: Option<PreparedGroup> = None;
+    let cand_infeasible = cache.memo_infeasible(key, || {
+        let p = prepared.get_or_insert_with(|| {
+            prepare_candidate(
+                stage1_fn,
+                cand,
+                sched.take().expect("scheduled"),
+                cache,
+                opts,
+                acc,
+            )
+        });
+        p.infeasible(opts)
+    });
+    if !cur_infeasible && cand_infeasible {
+        return Ok(CandidateEval::Pruned);
+    }
+    if let Some(cur_bram) = cur_bram {
+        let mut cand_groups = groups.to_vec();
+        cand_groups[bottleneck] = cand.clone();
+        let cand_bram = cache.memo_bram(fp, &cand_groups, || {
+            bram_of(&schedule_for(stage1_fn, &cand_groups))
+        });
+        if cur_bram <= opts.device.bram18k && cand_bram > opts.device.bram18k {
+            return Ok(CandidateEval::Pruned);
+        }
+    }
+    let (l, r) = cache.memo_group_qor(key, || {
+        let p = prepared.take().unwrap_or_else(|| {
+            prepare_candidate(
+                stage1_fn,
+                cand,
+                sched.take().expect("scheduled"),
+                cache,
+                opts,
+                acc,
+            )
+        });
+        p.estimate(opts, acc)
+    })?;
+    Ok(CandidateEval::Estimated(l, r))
+}
+
+/// A group's scheduled sub-function with its transformed statements and
+/// dependence summary — the shared intermediates of the feasibility check
+/// and the estimate.
+struct PreparedGroup {
+    scheduled: Function,
+    stmts: Vec<StmtPoly>,
+    deps: pom_hls::DepSummary,
+}
+
+/// Extracts and schedules a group's sub-function (the cheap half of a
+/// candidate evaluation — no polyhedral dependence analysis yet).
+fn scheduled_group(base: &Function, group: &GroupConfig, acc: &PhaseAccum) -> Function {
+    let t0 = Instant::now();
+    let members: Vec<&str> = group.members.iter().map(String::as_str).collect();
+    let sub = sub_function(base, &members);
+    let scheduled = schedule_for(&sub, std::slice::from_ref(group));
+    acc.add(&crate::compile::PhaseTimes {
+        lowering: t0.elapsed(),
+        estimation: Duration::ZERO,
+    });
+    scheduled
+}
+
+/// The expensive half: schedule replay + polyhedral dependence analysis
+/// over the already-scheduled sub-function.
+fn prepare_scheduled(
+    scheduled: Function,
+    opts: &CompileOptions,
+    acc: &PhaseAccum,
+) -> PreparedGroup {
+    let t0 = Instant::now();
+    let stmts = apply_schedule(&scheduled);
+    let deps = build_dep_summary(&scheduled, &stmts, &opts.model);
+    acc.add(&crate::compile::PhaseTimes {
+        lowering: t0.elapsed(),
+        estimation: Duration::ZERO,
+    });
+    PreparedGroup {
+        scheduled,
+        stmts,
+        deps,
+    }
+}
+
+/// The memoized dependence-summary *template* of a candidate's group: the
+/// summary of the group's untiled scheduled sub-function, reusable for
+/// every tiled escalation of that group.
+///
+/// Soundness: stage 2 only tiles `parallel` levels, which `plan_groups`
+/// verified carry no dependence in any member. A carried dependence's
+/// level is therefore a non-parallel, never-tiled dim; those dims keep
+/// their names, relative order (they precede all tile loops in
+/// `schedule_for`'s loop order), and per-dim distance components under
+/// any tiling of the parallel dims — so the summary entries `(loop name,
+/// distance, chain latency)` are identical across all of the group's
+/// candidates. Two guards make this unconditional: a candidate that tiles
+/// a non-parallel level gets no template, and a template whose own
+/// analysis carries a dependence at *any* parallel dim is rejected
+/// (`None`) — both fall back to full per-candidate dependence analysis.
+fn dep_template(
+    stage1_fn: &Function,
+    cand: &GroupConfig,
+    cache: &DseCache,
+    opts: &CompileOptions,
+    acc: &PhaseAccum,
+) -> Option<Arc<pom_hls::DepSummary>> {
+    if (0..cand.tiles.len()).any(|l| cand.tiles[l] > 1 && !cand.parallel.contains(&l)) {
+        return None;
+    }
+    let mut untiled = cand.clone();
+    untiled.tiles = vec![1; untiled.tiles.len()];
+    let reference = scheduled_group(stage1_fn, &untiled, acc);
+    let key = fingerprint(&reference);
+    cache.memo_dep_template(key, || {
+        let t0 = Instant::now();
+        let stmts = apply_schedule(&reference);
+        let deps = build_dep_summary(&reference, &stmts, &opts.model);
+        acc.add(&crate::compile::PhaseTimes {
+            lowering: t0.elapsed(),
+            estimation: Duration::ZERO,
+        });
+        let parallel_carries_dep = deps
+            .loops()
+            .any(|name| cand.parallel.iter().any(|&l| cand.dims[l] == name));
+        (!parallel_carries_dep).then_some(deps)
+    })
+}
+
+/// [`prepare_scheduled`] that reuses the group's dependence-summary
+/// template when one is available, skipping the polyhedral dependence
+/// analysis — the dominant cost of a candidate evaluation.
+fn prepare_candidate(
+    stage1_fn: &Function,
+    cand: &GroupConfig,
+    scheduled: Function,
+    cache: &DseCache,
+    opts: &CompileOptions,
+    acc: &PhaseAccum,
+) -> PreparedGroup {
+    match dep_template(stage1_fn, cand, cache, opts, acc) {
+        Some(deps) => {
+            let t0 = Instant::now();
+            let stmts = apply_schedule(&scheduled);
+            acc.add(&crate::compile::PhaseTimes {
+                lowering: t0.elapsed(),
+                estimation: Duration::ZERO,
+            });
+            PreparedGroup {
+                scheduled,
+                stmts,
+                deps: (*deps).clone(),
+            }
+        }
+        None => prepare_scheduled(scheduled, opts, acc),
+    }
+}
+
+/// [`dep_template`] for the *complete* function under `groups`: the
+/// dependence summary of the all-tiles-1 full schedule, reusable by every
+/// full-function compile of the search whose groups differ from it only
+/// in parallel-level tile factors (the repair walk-back halves tiles, the
+/// II retarget touches only pipeline directives — both preserve it). The
+/// same soundness argument and guards as [`dep_template`] apply, per
+/// group.
+pub(crate) fn full_dep_template(
+    stage1_fn: &Function,
+    groups: &[GroupConfig],
+    cache: &DseCache,
+    opts: &CompileOptions,
+    acc: &PhaseAccum,
+) -> Option<Arc<pom_hls::DepSummary>> {
+    if groups
+        .iter()
+        .any(|g| (0..g.tiles.len()).any(|l| g.tiles[l] > 1 && !g.parallel.contains(&l)))
+    {
+        return None;
+    }
+    let untiled: Vec<GroupConfig> = groups
+        .iter()
+        .map(|g| {
+            let mut u = g.clone();
+            u.tiles = vec![1; u.tiles.len()];
+            u
+        })
+        .collect();
+    let t0 = Instant::now();
+    let reference = schedule_for(stage1_fn, &untiled);
+    let key = fingerprint(&reference);
+    let out = cache.memo_dep_template(key, || {
+        let stmts = apply_schedule(&reference);
+        let deps = build_dep_summary(&reference, &stmts, &opts.model);
+        let parallel_carries_dep = deps.loops().any(|name| {
+            groups
+                .iter()
+                .any(|g| g.parallel.iter().any(|&l| g.dims[l] == name))
+        });
+        (!parallel_carries_dep).then_some(deps)
+    });
+    acc.add(&crate::compile::PhaseTimes {
+        lowering: t0.elapsed(),
+        estimation: Duration::ZERO,
+    });
+    out
+}
+
+impl PreparedGroup {
+    /// POM001 verdict on the already-analyzed schedule.
+    fn infeasible(&self, _opts: &CompileOptions) -> bool {
+        schedule_carries_infeasible_ii(&self.scheduled, &self.deps)
+    }
+
+    /// Lowers + estimates, reusing the prepared statements and deps.
+    fn estimate(
+        self,
+        opts: &CompileOptions,
+        acc: &PhaseAccum,
+    ) -> Result<(u64, pom_hls::ResourceUsage), CompileError> {
+        let (c, times) =
+            crate::compile::compile_prepared(&self.scheduled, self.stmts, self.deps, opts)?;
+        acc.add(&times);
+        Ok((c.qor.latency, c.qor.resources))
+    }
+}
+
+/// The search loop proper, shared by the cached/uncached and
+/// serial/parallel modes. `cache`, when present, is shared with the
+/// caller so `auto_dse_with` can reuse the repair loop's final compile.
+pub(crate) fn bottleneck_optimize_impl(
+    stage1_fn: &Function,
+    opts: &CompileOptions,
+    cfg: &DseConfig,
+    cache: Option<&DseCache>,
+    acc: &PhaseAccum,
+) -> Result<Stage2Result, CompileError> {
+    let t_stage2 = Instant::now();
+    let fp = fingerprint(stage1_fn);
+    let workers = cfg.effective_workers();
     let mut dse_stats = DseStats::default();
     let mut groups = plan_groups(stage1_fn);
-    let mut stats: Vec<(u64, pom_hls::ResourceUsage)> = groups
-        .iter()
-        .map(|g| group_compile(stage1_fn, g, opts))
-        .collect();
+
+    // Initial per-group stats, evaluated concurrently when allowed.
+    let initial = run_indexed(groups.len(), workers, |i| match cache {
+        Some(c) => {
+            let scheduled = scheduled_group(stage1_fn, &groups[i], acc);
+            c.memo_group_qor(canonical_fingerprint(&scheduled), || {
+                prepare_scheduled(scheduled, opts, acc).estimate(opts, acc)
+            })
+        }
+        None => group_compile_timed(stage1_fn, &groups[i], opts, acc),
+    });
+    let mut stats: Vec<(u64, pom_hls::ResourceUsage)> =
+        initial.into_iter().collect::<Result<_, _>>()?;
 
     // Data paths over groups, from the dependence graph.
     let graph = DepGraph::build(stage1_fn);
@@ -405,9 +846,9 @@ pub fn bottleneck_optimize_with(
         acc
     };
 
-    let mut list: Vec<usize> = (0..groups.len()).collect();
-    while !list.is_empty() {
-        // Critical path by latency; bottleneck = max-latency listed group.
+    let mut active: BTreeSet<usize> = (0..groups.len()).collect();
+    while !active.is_empty() {
+        // Critical path by latency; bottleneck = max-latency active group.
         let bottleneck = {
             let critical = group_paths
                 .iter()
@@ -415,61 +856,114 @@ pub fn bottleneck_optimize_with(
             let on_path = critical.and_then(|p| {
                 p.iter()
                     .copied()
-                    .filter(|g| list.contains(g))
+                    .filter(|g| active.contains(g))
                     .max_by_key(|&g| stats[g].0)
             });
-            match on_path.or_else(|| list.iter().copied().max_by_key(|&g| stats[g].0)) {
+            match on_path.or_else(|| active.iter().copied().max_by_key(|&g| stats[g].0)) {
                 Some(b) => b,
                 None => break,
             }
         };
 
-        let mut cand = groups[bottleneck].clone();
-        if !cand.escalate_with(cfg) {
-            list.retain(|&g| g != bottleneck);
+        let cands = groups[bottleneck].escalation_candidates_preferred(cfg);
+        if cands.is_empty() {
+            active.remove(&bottleneck);
             continue;
         }
-        // Lint prescreen: discard candidates that would *introduce* a
-        // lint violation the current configuration does not have, before
-        // paying for their estimation — always for Error-level issues
-        // (an infeasible pipeline II), and for the BRAM budget when the
-        // strategy opts in (the fits check below omits BRAM).
-        if lint_screen(
-            stage1_fn,
-            &groups,
-            bottleneck,
-            &cand,
-            opts,
-            cfg.lint_prune_bram,
-        ) {
-            dse_stats.lint_pruned += 1;
-            list.retain(|&g| g != bottleneck);
-            continue;
+
+        // Context for the relative lint prescreen: a candidate is pruned
+        // only when it *introduces* a violation the current configuration
+        // does not have.
+        let cur_infeasible = match cache {
+            Some(c) => {
+                let scheduled = scheduled_group(stage1_fn, &groups[bottleneck], acc);
+                c.memo_infeasible(canonical_fingerprint(&scheduled), || {
+                    prepare_candidate(stage1_fn, &groups[bottleneck], scheduled, c, opts, acc)
+                        .infeasible(opts)
+                })
+            }
+            None => pipeline_infeasible(stage1_fn, &groups[bottleneck], opts),
+        };
+        let cur_bram = cfg.lint_prune_bram.then(|| match cache {
+            Some(c) => c.memo_bram(fp, &groups, || bram_of(&schedule_for(stage1_fn, &groups))),
+            None => bram_of(&schedule_for(stage1_fn, &groups)),
+        });
+
+        // Evaluate every single-step escalation of the bottleneck — in
+        // parallel when allowed. Results come back in candidate order, so
+        // selection below is identical for serial and parallel runs.
+        let evals = run_indexed(cands.len(), workers, |i| {
+            eval_candidate(
+                stage1_fn,
+                fp,
+                &groups,
+                bottleneck,
+                &cands[i],
+                cur_infeasible,
+                cur_bram,
+                opts,
+                cfg,
+                cache,
+                acc,
+            )
+        });
+        if workers > 1 && cands.len() > 1 {
+            dse_stats.parallel_evaluated += cands.len();
         }
-        dse_stats.estimated += 1;
-        let (l2, r2) = group_compile(stage1_fn, &cand, opts);
-        let mut cand_stats = stats.clone();
-        cand_stats[bottleneck] = (l2, r2);
-        let total = compose(&cand_stats);
-        let fits = total.dsp <= opts.device.dsp
-            && total.ff <= opts.device.ff
-            && total.lut <= opts.device.lut;
-        if fits && l2 <= stats[bottleneck].0 {
-            groups[bottleneck] = cand;
-            stats[bottleneck] = (l2, r2);
-        } else {
-            list.retain(|&g| g != bottleneck);
+
+        // Best candidate by (fits, latency), ties broken by index.
+        let mut best: Option<(u64, pom_hls::ResourceUsage, usize)> = None;
+        for (i, ev) in evals.into_iter().enumerate() {
+            match ev? {
+                CandidateEval::Pruned => dse_stats.lint_pruned += 1,
+                CandidateEval::Estimated(l2, r2) => {
+                    dse_stats.estimated += 1;
+                    let mut cand_stats = stats.clone();
+                    cand_stats[bottleneck] = (l2, r2);
+                    let total = compose(&cand_stats);
+                    let fits = total.dsp <= opts.device.dsp
+                        && total.ff <= opts.device.ff
+                        && total.lut <= opts.device.lut;
+                    if fits
+                        && l2 <= stats[bottleneck].0
+                        && best.as_ref().map(|&(bl, _, _)| l2 < bl).unwrap_or(true)
+                    {
+                        best = Some((l2, r2, i));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((l2, r2, i)) => {
+                groups[bottleneck] = cands[i].clone();
+                stats[bottleneck] = (l2, r2);
+            }
+            None => {
+                active.remove(&bottleneck);
+            }
         }
     }
 
     // Final repair: the incremental per-group check cannot see globally
     // accumulated overheads (every array's partition muxing exists once in
     // the full design). Re-estimate the complete function and, while it
-    // exceeds the device, walk back the most parallel group one step.
+    // exceeds the device, walk back the most parallel group one step. The
+    // fitting iteration's compile stays in the cache, so `auto_dse_with`
+    // reuses it instead of recompiling the same schedule.
+    let full_template = cache.and_then(|c| full_dep_template(stage1_fn, &groups, c, opts, acc));
     loop {
-        let full = compile(&schedule_for(stage1_fn, &groups), opts)
-            .expect("stage-2 schedule compiles")
-            .qor;
+        let scheduled = schedule_for(stage1_fn, &groups);
+        let full = match cache {
+            Some(c) => c
+                .compile_full(&scheduled, opts, acc, full_template.as_deref())?
+                .qor
+                .clone(),
+            None => {
+                let (c, times) = compile_timed(&scheduled, opts)?;
+                acc.add(&times);
+                c.qor
+            }
+        };
         let fits = full.resources.dsp <= opts.device.dsp
             && full.resources.ff <= opts.device.ff
             && full.resources.lut <= opts.device.lut;
@@ -491,11 +985,18 @@ pub fn bottleneck_optimize_with(
             .expect("non-empty tiles");
         g.tiles[widest] = (g.tiles[widest] / 2).max(1);
     }
-    Stage2Result {
+    dse_stats.stage2_time = t_stage2.elapsed();
+    if let Some(c) = cache {
+        dse_stats.cache_hits = c.hits();
+        dse_stats.cache_misses = c.misses();
+    }
+    dse_stats.lowering_time = acc.lowering();
+    dse_stats.estimation_time = acc.estimation();
+    Ok(Stage2Result {
         function: schedule_for(stage1_fn, &groups),
         groups,
         stats: dse_stats,
-    }
+    })
 }
 
 /// True when swapping `cand` in for group `bottleneck` would introduce a
@@ -555,14 +1056,9 @@ fn bram_of(f: &Function) -> u64 {
     bram
 }
 
-/// True when the group's schedule declares a pipeline II below the
-/// recurrence MII of a dependence carried at the pipelined loop.
-fn pipeline_infeasible(base: &Function, group: &GroupConfig, opts: &CompileOptions) -> bool {
-    let members: Vec<&str> = group.members.iter().map(String::as_str).collect();
-    let sub = sub_function(base, &members);
-    let scheduled = schedule_for(&sub, std::slice::from_ref(group));
-    let stmts = apply_schedule(&scheduled);
-    let deps = build_dep_summary(&scheduled, &stmts, &opts.model);
+/// True when `scheduled` declares a pipeline II below the recurrence MII
+/// of a dependence carried at the pipelined loop, per `deps`.
+fn schedule_carries_infeasible_ii(scheduled: &Function, deps: &pom_hls::DepSummary) -> bool {
     scheduled.schedule().iter().any(|p| {
         if let Primitive::Pipeline { loop_iv, ii, .. } = p {
             deps.carried_at(loop_iv)
@@ -572,6 +1068,17 @@ fn pipeline_infeasible(base: &Function, group: &GroupConfig, opts: &CompileOptio
             false
         }
     })
+}
+
+/// True when the group's schedule declares a pipeline II below the
+/// recurrence MII of a dependence carried at the pipelined loop.
+fn pipeline_infeasible(base: &Function, group: &GroupConfig, opts: &CompileOptions) -> bool {
+    let members: Vec<&str> = group.members.iter().map(String::as_str).collect();
+    let sub = sub_function(base, &members);
+    let scheduled = schedule_for(&sub, std::slice::from_ref(group));
+    let stmts = apply_schedule(&scheduled);
+    let deps = build_dep_summary(&scheduled, &stmts, &opts.model);
+    schedule_carries_infeasible_ii(&scheduled, &deps)
 }
 
 /// Compiles one group as a sub-function with its configuration applied.
@@ -587,6 +1094,21 @@ pub fn group_compile(
         .expect("group schedule compiles")
         .qor;
     (q.latency, q.resources)
+}
+
+/// [`group_compile`] propagating errors and accumulating phase times.
+fn group_compile_timed(
+    base: &Function,
+    group: &GroupConfig,
+    opts: &CompileOptions,
+    acc: &PhaseAccum,
+) -> Result<(u64, pom_hls::ResourceUsage), CompileError> {
+    let members: Vec<&str> = group.members.iter().map(String::as_str).collect();
+    let sub = sub_function(base, &members);
+    let scheduled = schedule_for(&sub, std::slice::from_ref(group));
+    let (c, times) = compile_timed(&scheduled, opts)?;
+    acc.add(&times);
+    Ok((c.qor.latency, c.qor.resources))
 }
 
 #[cfg(test)]

@@ -61,6 +61,11 @@ impl DepSummary {
     pub fn carried_at(&self, iv: &str) -> Option<&CarriedDep> {
         self.carried.get(iv)
     }
+
+    /// The names of all loops that carry a dependence.
+    pub fn loops(&self) -> impl Iterator<Item = &str> {
+        self.carried.keys().map(String::as_str)
+    }
 }
 
 /// Latency of the operation chain from a load of `array` to the statement

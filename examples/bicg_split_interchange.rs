@@ -77,7 +77,7 @@ fn main() {
             b.achieved_ii()
         );
     }
-    let pom = auto_dse(&f, &opts);
+    let pom = auto_dse(&f, &opts).expect("DSE compiles");
     println!(
         "{:<10} {:>14} {:>8.1}x {:>5}",
         "POM",

@@ -22,7 +22,7 @@ fn main() {
     let base = baselines::baseline_compiled(&f, &opts);
 
     // POM: sequential layers, resource reuse (accumulated usage = max).
-    let pom = auto_dse(&f, &opts);
+    let pom = auto_dse(&f, &opts).expect("DSE compiles");
     let stage1 = pom::dse::stage1::dependence_aware_transform(&f, 8);
     println!("\n=== POM (resource reuse) per-layer designs ===");
     println!(

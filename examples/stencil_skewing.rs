@@ -71,7 +71,7 @@ fn main() {
     );
 
     // ④ auto_DSE finds an equivalent (or better) design automatically.
-    let auto = auto_dse(&f, &opts);
+    let auto = auto_dse(&f, &opts).expect("DSE compiles");
     println!(
         "auto_DSE (④):                  {:.1}x speedup, schedule:",
         auto.compiled.qor.speedup_over(&base.qor)
@@ -95,7 +95,7 @@ fn main() {
 
     let base = baselines::baseline_compiled(&f, &opts);
     let sh = baselines::scalehls_like(&f, &opts, 512);
-    let pom_r = auto_dse(&f, &opts);
+    let pom_r = auto_dse(&f, &opts).expect("DSE compiles");
     println!(
         "ScaleHLS (no skew): {:.1}x, II = {}",
         sh.compiled.qor.speedup_over(&base.qor),

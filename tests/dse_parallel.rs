@@ -1,0 +1,114 @@
+//! Determinism guarantees of the parallel, memoized DSE (DESIGN.md §8).
+//!
+//! The performance layer must be invisible in the results: parallel
+//! candidate evaluation and the compile/estimate cache may only change
+//! *when* work happens, never *what* the search returns. These tests pin
+//! that down across the representative kernel shapes — dense linear
+//! algebra (GEMM, 2MM), split-reduction (BICG), and loop-carried
+//! stencils (Jacobi-2d, Seidel).
+
+use pom::{auto_dse_with, CompileOptions, DseConfig, DseResult, Function};
+use pom_bench::kernels;
+use proptest::prelude::*;
+
+fn paper_options() -> CompileOptions {
+    CompileOptions::default()
+}
+
+/// Everything the search is judged on, rendered to comparable form.
+fn observable(r: &DseResult) -> (String, Vec<pom::GroupConfig>, u64, String) {
+    (
+        r.function.to_string(),
+        r.groups.clone(),
+        r.compiled.qor.latency,
+        format!("{:?}", r.compiled.qor.resources),
+    )
+}
+
+fn kernel_suite() -> Vec<Function> {
+    vec![
+        kernels::gemm(32),
+        kernels::bicg(32),
+        kernels::mm2(24),
+        kernels::jacobi2d(4, 24),
+        kernels::seidel(16),
+    ]
+}
+
+#[test]
+fn parallel_search_equals_serial_search() {
+    let opts = paper_options();
+    let serial = DseConfig {
+        workers: 1,
+        ..Default::default()
+    };
+    let parallel = DseConfig {
+        workers: 4,
+        ..Default::default()
+    };
+    for f in kernel_suite() {
+        let a = auto_dse_with(&f, &opts, &serial).expect("serial DSE compiles");
+        let b = auto_dse_with(&f, &opts, &parallel).expect("parallel DSE compiles");
+        assert_eq!(
+            observable(&a),
+            observable(&b),
+            "{}: parallel workers changed the search outcome",
+            f.name()
+        );
+    }
+}
+
+#[test]
+fn cached_search_equals_uncached_search() {
+    let opts = paper_options();
+    let uncached = DseConfig::serial_uncached();
+    let cached = DseConfig {
+        cache: true,
+        workers: 1,
+        ..Default::default()
+    };
+    for f in kernel_suite() {
+        let a = auto_dse_with(&f, &opts, &uncached).expect("uncached DSE compiles");
+        let b = auto_dse_with(&f, &opts, &cached).expect("cached DSE compiles");
+        assert_eq!(
+            observable(&a),
+            observable(&b),
+            "{}: the cache changed the search outcome",
+            f.name()
+        );
+        assert_eq!(a.stats.estimated, b.stats.estimated, "{}", f.name());
+        assert_eq!(a.stats.lint_pruned, b.stats.lint_pruned, "{}", f.name());
+    }
+}
+
+#[test]
+fn fast_mode_reports_cache_traffic_and_phase_times() {
+    let opts = paper_options();
+    let r = auto_dse_with(&kernels::gemm(32), &opts, &DseConfig::default()).expect("DSE compiles");
+    assert!(r.stats.cache_hits > 0, "repeated compiles never hit cache");
+    assert!(r.stats.cache_misses > 0, "cache cannot be all hits");
+    assert!(
+        r.stats.lowering_time + r.stats.estimation_time <= r.dse_time,
+        "phase times exceed total DSE wall time"
+    );
+    assert!(r.stats.stage2_time <= r.dse_time);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cache and workers are pure performance knobs for any problem size.
+    #[test]
+    fn dse_observables_invariant_under_perf_knobs(
+        n in 8usize..40,
+        workers in 1usize..5,
+    ) {
+        let opts = paper_options();
+        let f = kernels::gemm(n);
+        let base = auto_dse_with(&f, &opts, &DseConfig::serial_uncached())
+            .expect("DSE compiles");
+        let tuned_cfg = DseConfig { workers, ..Default::default() };
+        let tuned = auto_dse_with(&f, &opts, &tuned_cfg).expect("DSE compiles");
+        prop_assert_eq!(observable(&base), observable(&tuned));
+    }
+}

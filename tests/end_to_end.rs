@@ -12,7 +12,7 @@ use pom_bench::kernels;
 /// seeded memory and asserts bit-identical results for `arrays`.
 fn assert_dse_preserves_semantics(f: &pom::Function, arrays: &[&str], seed: u64) {
     let opts = CompileOptions::default();
-    let r = auto_dse(f, &opts);
+    let r = auto_dse(f, &opts).expect("DSE compiles");
     let compiled = compile(&r.function, &opts).expect("DSE schedule compiles");
     pom::ir::verify(&compiled.affine).expect("DSE output must verify");
 
@@ -90,7 +90,7 @@ fn framework_ordering_on_bicg() {
     let pluto = baselines::pluto_like(&f, &opts);
     let polsca = baselines::polsca_like(&f, &opts);
     let scalehls = baselines::scalehls_like(&f, &opts, n);
-    let pom = auto_dse(&f, &opts);
+    let pom = auto_dse(&f, &opts).expect("DSE compiles");
 
     let s = |q: &pom::QoR| q.speedup_over(&base.qor);
     assert!(s(&pom.compiled.qor) > s(&scalehls.compiled.qor));
@@ -162,7 +162,7 @@ fn resource_constrained_dse_respects_smaller_devices() {
             device: device.clone(),
             ..Default::default()
         };
-        let r = auto_dse(&f, &opts);
+        let r = auto_dse(&f, &opts).expect("DSE compiles");
         assert!(
             r.compiled.qor.resources.dsp <= device.dsp,
             "{pct}%: {} DSPs over budget {}",
@@ -176,7 +176,7 @@ fn resource_constrained_dse_respects_smaller_devices() {
 fn dnn_networks_compile_and_fit() {
     let opts = CompileOptions::default();
     for f in [kernels::vgg16(1), kernels::resnet18(1)] {
-        let r = auto_dse(&f, &opts);
+        let r = auto_dse(&f, &opts).expect("DSE compiles");
         assert!(r.compiled.qor.resources.dsp <= 220, "{}", f.name());
         let base = baselines::baseline_compiled(&f, &opts);
         assert!(
@@ -214,13 +214,13 @@ fn dse_config_knobs_shape_the_search() {
         max_parallelism: 4,
         ..Default::default()
     };
-    let constrained = pom::auto_dse_with(&f, &opts, &tight);
+    let constrained = pom::auto_dse_with(&f, &opts, &tight).expect("DSE compiles");
     assert!(
         constrained.groups[0].parallelism() <= 4,
         "got {:?}",
         constrained.groups[0].tiles
     );
-    let free = auto_dse(&f, &opts);
+    let free = auto_dse(&f, &opts).expect("DSE compiles");
     assert!(free.groups[0].parallelism() > 4);
     assert!(free.compiled.qor.latency <= constrained.compiled.qor.latency);
 }

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 /// Asserts the DSE result of `f` carries no POM001/POM002 errors.
 fn dse_is_lint_clean(f: &Function) {
     let opts = CompileOptions::default();
-    let r = auto_dse(f, &opts);
+    let r = auto_dse(f, &opts).expect("DSE compiles");
     let report = lint_report(&r.function, &r.compiled, &opts);
     for d in &report.diagnostics {
         assert!(
