@@ -4,13 +4,20 @@
 //! the requested artefact:
 //!
 //! ```text
-//! pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint] [--no-dse]
+//! pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify] [--no-dse]
 //! pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]
+//! pomc verify-all [--size N] [--sample-every K] [--out PATH]
 //! ```
 //!
 //! `--emit lint` runs the `pom-lint` diagnostics suite (POM001–POM005)
 //! over the compiled design and exits nonzero when any error-severity
 //! diagnostic fires.
+//!
+//! `--emit verify` replays the schedule through `pom-verify`'s
+//! translation validation and exits nonzero when any certificate is
+//! rejected. `verify-all` runs the certificate sweep over the Table
+//! III + Table V suite (winner + sampled candidate validation), writes
+//! `VERIFY_certificates.json`, and exits nonzero on any rejection.
 //!
 //! `bench-dse` runs the Table III + Table V suite with the serial seed
 //! profile and with the parallel + memoized search, checks the outputs
@@ -22,7 +29,7 @@
 //! seidel, edge_detect, gaussian, blur, vgg16, resnet18.
 
 use pom::{auto_dse, baselines, CompileOptions, Function, Pom};
-use pom_bench::experiments::bench_dse;
+use pom_bench::experiments::{bench_dse, verify_suite};
 
 fn kernel_by_name(name: &str, size: usize) -> Option<Function> {
     use pom_bench::kernels as k;
@@ -45,7 +52,57 @@ fn kernel_by_name(name: &str, size: usize) -> Option<Function> {
     })
 }
 
-const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint] [--no-dse]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]";
+const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify] [--no-dse]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]\n       pomc verify-all [--size N] [--sample-every K] [--out PATH]";
+
+fn verify_all_main(args: &[String]) -> ! {
+    let mut size = 32usize;
+    let mut sample_every = 4usize;
+    let mut out = "VERIFY_certificates.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size" => {
+                size = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--size expects a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--sample-every" => {
+                sample_every = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--sample-every expects a number (0 disables sampling)");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = verify_suite::run_suite(size, sample_every);
+    print!("{}", verify_suite::render(&report));
+    if let Err(e) = std::fs::write(&out, verify_suite::to_json(&report)) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}
 
 fn bench_dse_main(args: &[String]) -> ! {
     let mut size = 64usize;
@@ -119,6 +176,9 @@ fn main() {
     };
     if kernel == "bench-dse" {
         bench_dse_main(&args[1..]);
+    }
+    if kernel == "verify-all" {
+        verify_all_main(&args[1..]);
     }
     let mut size = 256usize;
     let mut emit = "report".to_string();
@@ -215,6 +275,23 @@ fn main() {
                 );
             }
             if report.has_errors() {
+                std::process::exit(1);
+            }
+        }
+        "verify" => {
+            let report = driver.verify(&scheduled);
+            print!("{}", report.render());
+            if let Some(r) = &dse {
+                println!(
+                    "DSE validation: {} certificate(s) checked ({} passed, {} sampled \
+                     candidates), {} dataflow fixpoint iteration(s)",
+                    r.stats.certificates_checked,
+                    r.stats.certificates_passed,
+                    r.stats.certificates_sampled,
+                    r.stats.dataflow_iterations
+                );
+            }
+            if !report.passed() {
                 std::process::exit(1);
             }
         }

@@ -16,6 +16,7 @@
 //! | [`fig16`] | Fig. 16 — Jacobi-1d DSL walkthrough |
 //! | [`ext_dtypes`] | Extension — data-type customization (Table I capability) |
 //! | [`bench_dse`] | DSE perf harness — serial seed vs parallel + memoized |
+//! | [`verify_suite`] | Certificate sweep — `pomc verify-all` over the suite |
 
 pub mod bench_dse;
 pub mod common;
@@ -32,3 +33,4 @@ pub mod tab04;
 pub mod tab05;
 pub mod tab06;
 pub mod tab07;
+pub mod verify_suite;

@@ -43,6 +43,7 @@
 //! | Affine dialect + HLS attrs | [`pom_ir`] | loops/ops with pragma attributes |
 //! | HLS backend | [`pom_hls`] | HLS C emission + QoR estimation |
 //! | DSE engine | [`pom_dse`] | two-stage automatic scheduling + baselines |
+//! | Validation | [`pom_verify`] | translation validation + dataflow analyses |
 
 pub use pom_dse as dse;
 pub use pom_dsl as dsl;
@@ -51,6 +52,7 @@ pub use pom_hls as hls;
 pub use pom_ir as ir;
 pub use pom_lint as lint;
 pub use pom_poly as poly;
+pub use pom_verify as verify;
 
 pub use pom_dse::{
     auto_dse, auto_dse_with, baselines, compile, lint_report, CompileError, CompileOptions,
@@ -66,6 +68,7 @@ pub use pom_hls::{
 };
 pub use pom_ir::{execute_func, AffineFunc, PassManager};
 pub use pom_lint::{Diagnostic, LintCode, LintReport, Linter, Severity};
+pub use pom_verify::{analyze_ranges, narrowing_hints, validate, ValidationReport};
 
 /// The end-to-end POM driver: analysis, scheduling (user-specified or
 /// automatic), lowering, and HLS C generation.
@@ -132,6 +135,14 @@ impl Pom {
     pub fn lint(&self, f: &Function) -> LintReport {
         let compiled = self.compile(f);
         pom_dse::lint_report(f, &compiled, &self.options)
+    }
+
+    /// Replays the function's recorded schedule through `pom-verify`'s
+    /// translation validation: every transformation primitive is
+    /// certified (dependences preserved, domains and footprints equal)
+    /// and the report carries a rustc-style rendering of any rejection.
+    pub fn verify(&self, f: &Function) -> ValidationReport {
+        pom_verify::validate(f)
     }
 
     /// Generates a Vitis-style synthesis report for the compiled design.

@@ -28,6 +28,9 @@ pub enum CompileError {
     /// The compiled function carries error-severity lint diagnostics
     /// (rendered report), with linting enabled in [`CompileOptions`].
     Lint(String),
+    /// Translation validation rejected the schedule: a rewrite failed a
+    /// certificate obligation (rendered [`pom_verify::ValidationReport`]).
+    Rejected(String),
 }
 
 impl fmt::Display for CompileError {
@@ -38,6 +41,9 @@ impl fmt::Display for CompileError {
                 write!(f, "pass {pass} broke the IR: {issue}")
             }
             CompileError::Lint(report) => write!(f, "lint errors:\n{report}"),
+            CompileError::Rejected(report) => {
+                write!(f, "translation validation rejected the schedule:\n{report}")
+            }
         }
     }
 }
@@ -58,6 +64,11 @@ pub struct CompileOptions {
     /// Off by default: DSE explores intermediate points whose declared
     /// IIs are retargeted only at the end.
     pub lint: bool,
+    /// Runs the PassManager in checked mode: `pom-verify`'s per-pass
+    /// translation-validation hook proves each cleanup pass preserved
+    /// the function's write footprint. Off by default — DSE validates
+    /// the winning schedule instead of every intermediate compile.
+    pub verify: bool,
 }
 
 impl Default for CompileOptions {
@@ -67,6 +78,7 @@ impl Default for CompileOptions {
             sharing: Sharing::Reuse,
             device: DeviceSpec::xc7z020(),
             lint: false,
+            verify: false,
         }
     }
 }
@@ -248,13 +260,14 @@ pub fn build_dep_summary(f: &Function, stmts: &[StmtPoly], model: &CostModel) ->
 /// Returns [`CompileError::InvalidIr`] when lowering breaks a structural
 /// invariant and [`CompileError::PassFailed`] when a cleanup pass does.
 pub fn lower(f: &Function, stmts: &[StmtPoly]) -> Result<AffineFunc, CompileError> {
-    lower_with_lint(f, stmts, None)
+    lower_with_lint(f, stmts, None, false)
 }
 
 fn lower_with_lint(
     f: &Function,
     stmts: &[StmtPoly],
     lint: Option<pom_ir::LintHook>,
+    checked: bool,
 ) -> Result<AffineFunc, CompileError> {
     let mut builder = AstBuilder::new();
     for s in stmts {
@@ -317,6 +330,9 @@ fn lower_with_lint(
     }
     pom_ir::verify(&func).map_err(CompileError::InvalidIr)?;
     let mut pm = pom_ir::PassManager::standard();
+    if checked {
+        pm = pm.check_each(pom_verify::check_hook());
+    }
     if let Some(hook) = lint {
         pm = pm.lint_each(hook);
     }
@@ -401,7 +417,7 @@ pub(crate) fn compile_prepared(
     } else {
         None
     };
-    let affine = lower_with_lint(f, &stmts, hook)?;
+    let affine = lower_with_lint(f, &stmts, hook, opts.verify)?;
     let lowering = t0.elapsed();
     let t1 = std::time::Instant::now();
     let qor = estimate(&affine, &deps, &opts.model, opts.sharing);

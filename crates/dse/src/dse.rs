@@ -120,8 +120,21 @@ pub fn auto_dse_with(
             full_template.as_deref(),
         )?;
     }
-    let dse_time: Duration = start.elapsed();
     let mut stats = s2.stats;
+    // Winner validation: the returned schedule carries a full certificate
+    // chain — every transformation primitive is replayed through the
+    // polyhedral layer and its obligations discharged. The dataflow
+    // value-range analysis runs over the winning design alongside it.
+    if cfg.validate_winner {
+        let report = pom_verify::validate(&scheduled);
+        stats.certificates_checked += report.checked();
+        stats.certificates_passed += report.checked() - report.rejected().len();
+        if !report.passed() {
+            return Err(CompileError::Rejected(report.render()));
+        }
+        stats.dataflow_iterations = pom_verify::analyze_ranges(&compiled.affine).iterations;
+    }
+    let dse_time: Duration = start.elapsed();
     stats.stage1_time = stage1_time;
     stats.lowering_time = acc.lowering();
     stats.estimation_time = acc.estimation();
@@ -195,5 +208,45 @@ mod tests {
         assert!(r.compiled.qor.resources.dsp <= 220);
         assert!(r.parallelism() >= 4.0, "parallelism {}", r.parallelism());
         assert!(!r.achieved_iis().is_empty());
+        // Winner validation ran and every certificate passed.
+        assert!(r.stats.certificates_checked > 0);
+        assert_eq!(r.stats.certificates_checked, r.stats.certificates_passed);
+        assert!(r.stats.dataflow_iterations > 0);
+    }
+
+    #[test]
+    fn illegal_user_schedule_is_caught_by_winner_validation() {
+        // The mutation-test scenario end to end: a schedule carrying an
+        // illegal interchange (the (1, -1) stencil dependence flips to
+        // (-1, 1)) must be rejected by pom-verify's certificate check,
+        // not surface as silent output divergence downstream.
+        let n = 16usize;
+        let mut f = Function::new("stencil");
+        let t = f.var("t", 1, n as i64);
+        let i = f.var("i", 0, (n - 1) as i64);
+        let a = f.placeholder("A", &[n, n], DataType::F32);
+        let tm1 = t.expr() - 1;
+        let ip1 = i.expr() + 1;
+        f.compute(
+            "s",
+            &[t.clone(), i.clone()],
+            a.at(&[tm1, ip1]) * 0.5,
+            a.access(&[&t, &i]),
+        );
+        f.interchange("s", "t", "i");
+        let err = auto_dse(&f, &CompileOptions::default()).unwrap_err();
+        let CompileError::Rejected(report) = err else {
+            panic!("expected Rejected, got {err}");
+        };
+        assert!(report.contains("dependences-preserved"), "{report}");
+        assert!(report.contains("error[VERIFY]"), "{report}");
+
+        // The same schedule passes when validation is disabled — the
+        // rejection above really came from the certificate check.
+        let lax = DseConfig {
+            validate_winner: false,
+            ..DseConfig::default()
+        };
+        auto_dse_with(&f, &CompileOptions::default(), &lax).expect("compiles without validation");
     }
 }

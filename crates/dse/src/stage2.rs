@@ -46,6 +46,17 @@ pub struct DseStats {
     pub lowering_time: Duration,
     /// Time inside compile calls: QoR estimation.
     pub estimation_time: Duration,
+    /// Translation-validation certificates checked (winning schedule +
+    /// sampled candidates).
+    pub certificates_checked: usize,
+    /// Certificates whose every obligation passed.
+    pub certificates_passed: usize,
+    /// Candidates picked up by the sampled validation pass
+    /// (`DseConfig::validate_sample_every`).
+    pub certificates_sampled: usize,
+    /// Fixpoint iterations of the dataflow value-range analysis over the
+    /// winning design.
+    pub dataflow_iterations: usize,
 }
 
 /// The outcome of [`bottleneck_optimize_with`]: the fully scheduled
@@ -106,6 +117,16 @@ pub struct DseConfig {
     /// core, `1` = serial. Parallel and serial searches produce
     /// byte-identical schedules (ties break by candidate index).
     pub workers: usize,
+    /// Run translation validation over the winning schedule and fail the
+    /// DSE if any rewrite's certificate is rejected. On by default: the
+    /// returned design always carries a passing certificate chain.
+    pub validate_winner: bool,
+    /// Additionally validate every `n`-th estimated candidate during the
+    /// search (deterministic by candidate counter). `0` disables
+    /// sampling. A rejected sample aborts the search with
+    /// [`CompileError::Rejected`] — it means a transformation primitive
+    /// produced an illegal schedule the legality screen missed.
+    pub validate_sample_every: usize,
 }
 
 impl Default for DseConfig {
@@ -117,6 +138,8 @@ impl Default for DseConfig {
             lint_prune_bram: false,
             cache: true,
             workers: 0,
+            validate_winner: true,
+            validate_sample_every: 0,
         }
     }
 }
@@ -758,7 +781,11 @@ pub(crate) fn full_dep_template(
                 .iter()
                 .any(|g| g.parallel.iter().any(|&l| g.dims[l] == name))
         });
-        (!parallel_carries_dep).then_some(deps)
+        // Runtime guard on template reuse: the reference schedule the
+        // template is derived from must itself carry a passing
+        // certificate chain — a rejected rewrite would make every reuse
+        // of its dependence summary unsound. Memoized with the template.
+        (!parallel_carries_dep && pom_verify::validate(&reference).passed()).then_some(deps)
     });
     acc.add(&crate::compile::PhaseTimes {
         lowering: t0.elapsed(),
@@ -918,6 +945,31 @@ pub(crate) fn bottleneck_optimize_impl(
                 CandidateEval::Pruned => dse_stats.lint_pruned += 1,
                 CandidateEval::Estimated(l2, r2) => {
                     dse_stats.estimated += 1;
+                    // Sampled translation validation: every n-th estimated
+                    // candidate has its full certificate chain checked.
+                    // Deterministic (counter-based), so serial and parallel
+                    // searches sample the same candidates.
+                    if cfg.validate_sample_every > 0
+                        && dse_stats.estimated % cfg.validate_sample_every == 0
+                    {
+                        // A candidate only reschedules the bottleneck
+                        // group, so validating the group's sub-function
+                        // covers every rewrite the candidate introduces
+                        // without replaying the untouched groups.
+                        let members: Vec<&str> =
+                            cands[i].members.iter().map(String::as_str).collect();
+                        let sub = sub_function(stage1_fn, &members);
+                        let report = pom_verify::validate(&schedule_for(
+                            &sub,
+                            std::slice::from_ref(&cands[i]),
+                        ));
+                        dse_stats.certificates_sampled += report.checked();
+                        dse_stats.certificates_checked += report.checked();
+                        dse_stats.certificates_passed += report.checked() - report.rejected().len();
+                        if !report.passed() {
+                            return Err(CompileError::Rejected(report.render()));
+                        }
+                    }
                     let mut cand_stats = stats.clone();
                     cand_stats[bottleneck] = (l2, r2);
                     let total = compose(&cand_stats);

@@ -224,6 +224,7 @@ mod tests {
             )) * 2.0,
         };
         let j1 = ForOp {
+            extra: Vec::new(),
             iv: "j1".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(3)],
@@ -234,6 +235,7 @@ mod tests {
             body: vec![AffineOp::Store(store)],
         };
         let i1 = ForOp {
+            extra: Vec::new(),
             iv: "i1".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(3)],
@@ -244,6 +246,7 @@ mod tests {
             body: vec![AffineOp::For(j1)],
         };
         let j0 = ForOp {
+            extra: Vec::new(),
             iv: "j0".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(7)],
@@ -254,6 +257,7 @@ mod tests {
             body: vec![AffineOp::For(i1)],
         };
         let i0 = ForOp {
+            extra: Vec::new(),
             iv: "i0".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(7)],

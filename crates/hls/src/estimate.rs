@@ -465,6 +465,7 @@ mod tests {
         let body = pom_dsl::Expr::Load(AccessFn::new("acc", vec![LinearExpr::zero()]))
             + pom_dsl::Expr::Load(AccessFn::new("x", vec![LinearExpr::var("i")]));
         f.body.push(AffineOp::For(ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(n - 1)],
@@ -560,6 +561,7 @@ mod tests {
             value: pom_dsl::Expr::Load(AccessFn::new("x", vec![LinearExpr::var("j")])) * 2.0,
         };
         let inner = ForOp {
+            extra: Vec::new(),
             iv: "j".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(31)],
@@ -567,6 +569,7 @@ mod tests {
             body: vec![AffineOp::Store(store)],
         };
         let outer = ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(31)],
@@ -612,6 +615,7 @@ mod tests {
                 vec![LinearExpr::var("i"), LinearExpr::var("k")],
             ));
         let inner = ForOp {
+            extra: Vec::new(),
             iv: "k".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(7)],
@@ -623,6 +627,7 @@ mod tests {
             })],
         };
         let outer = ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(63)],
@@ -667,6 +672,7 @@ mod tests {
             value: pom_dsl::Expr::Load(AccessFn::new("x", vec![LinearExpr::var("j")])) * 2.0,
         };
         let j = ForOp {
+            extra: Vec::new(),
             iv: "j".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(15)],
@@ -677,6 +683,7 @@ mod tests {
             body: vec![AffineOp::Store(store)],
         };
         let i = ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(15)],
@@ -684,6 +691,7 @@ mod tests {
             body: vec![AffineOp::For(j)],
         };
         let k = ForOp {
+            extra: Vec::new(),
             iv: "k".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(15)],

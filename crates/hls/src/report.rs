@@ -193,6 +193,7 @@ mod tests {
             value: pom_dsl::Expr::Load(AccessFn::new("A", vec![LinearExpr::var("j")])) * 2.0,
         };
         let inner = ForOp {
+            extra: Vec::new(),
             iv: "j".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(63)],
@@ -203,6 +204,7 @@ mod tests {
             body: vec![AffineOp::Store(store)],
         };
         let outer = ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(9)],

@@ -44,6 +44,35 @@ impl fmt::Display for HlsAttrs {
     }
 }
 
+/// An uninterpreted attribute on an `affine.for` op, as parsed from
+/// hand-written IR or injected by external tooling. Typed HLS pragmas
+/// live in [`HlsAttrs`]; raw attributes carry everything else. The
+/// verifier rejects raw attributes in the `hls.` namespace it does not
+/// understand, instead of silently ignoring a misspelled pragma.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawAttr {
+    /// Attribute key, e.g. `hls.pipeline_ii` or `vendor.note`.
+    pub key: String,
+    /// Attribute value, verbatim.
+    pub value: String,
+}
+
+impl RawAttr {
+    /// Creates a raw attribute.
+    pub fn new(key: impl Into<String>, value: impl Into<String>) -> Self {
+        RawAttr {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+}
+
+impl fmt::Display for RawAttr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.key, self.value)
+    }
+}
+
 /// Array-partitioning directive on a memref.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PartitionInfo {

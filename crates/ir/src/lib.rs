@@ -23,12 +23,13 @@ pub mod ops;
 pub mod passes;
 pub mod verify;
 
-pub use attrs::{HlsAttrs, MemRefDecl, PartitionInfo};
+pub use attrs::{HlsAttrs, MemRefDecl, PartitionInfo, RawAttr};
 pub use interp::execute_func;
 pub use lower::{lower_to_affine, StmtBody};
 pub use ops::{AffineFunc, AffineOp, ForOp, IfOp, StoreOp};
 pub use passes::{
-    CollapseUnitLoops, LintHook, MaterializeUnroll, Pass, PassIssue, PassManager, SimplifyBounds,
+    CheckHook, CollapseUnitLoops, LintHook, MaterializeUnroll, Pass, PassIssue, PassManager,
+    SimplifyBounds,
 };
 pub use verify::{verify, VerifyError};
 

@@ -84,6 +84,7 @@ fn lower_nodes(nodes: &[AstNode], bodies: &HashMap<String, StmtBody>) -> Vec<Aff
     for n in nodes {
         match n {
             AstNode::For { iv, lbs, ubs, body } => out.push(AffineOp::For(ForOp {
+                extra: Vec::new(),
                 iv: iv.clone(),
                 lbs: lbs.clone(),
                 ubs: ubs.clone(),

@@ -5,7 +5,7 @@
 //! an `arith` expression DAG ([`pom_dsl::Expr`]) containing `affine.load`
 //! leaves.
 
-use crate::attrs::{HlsAttrs, MemRefDecl};
+use crate::attrs::{HlsAttrs, MemRefDecl, RawAttr};
 use pom_poly::{AccessFn, Bound, Constraint};
 use std::fmt;
 
@@ -20,6 +20,9 @@ pub struct ForOp {
     pub ubs: Vec<Bound>,
     /// HLS attributes.
     pub attrs: HlsAttrs,
+    /// Uninterpreted attributes (unknown or vendor pragmas); the
+    /// verifier rejects unknown keys in the `hls.` namespace.
+    pub extra: Vec<RawAttr>,
     /// Loop body.
     pub body: Vec<AffineOp>,
 }
@@ -272,8 +275,19 @@ fn fmt_ops(ops: &[AffineOp], f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::R
                     bound_text(&l.lbs, true),
                     bound_text(&l.ubs, false)
                 )?;
-                if l.attrs.any() {
-                    write!(f, " attributes {}", l.attrs)?;
+                if l.attrs.any() || !l.extra.is_empty() {
+                    let mut attrs = l.attrs.to_string();
+                    if !l.extra.is_empty() {
+                        let raw: Vec<String> = l.extra.iter().map(RawAttr::to_string).collect();
+                        let sep = if l.attrs.any() { ", " } else { "" };
+                        attrs = format!(
+                            "{{{}{}{}}}",
+                            attrs.trim_start_matches('{').trim_end_matches('}'),
+                            sep,
+                            raw.join(", ")
+                        );
+                    }
+                    write!(f, " attributes {attrs}")?;
                 }
                 writeln!(f, " {{")?;
                 fmt_ops(&l.body, f, depth + 1)?;
@@ -327,6 +341,7 @@ mod tests {
             value: pom_dsl::Expr::Const(1.0),
         };
         func.body.push(AffineOp::For(ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![Bound::new(LinearExpr::constant_expr(0), 1)],
             ubs: vec![Bound::new(LinearExpr::constant_expr(7), 1)],
@@ -349,6 +364,7 @@ mod tests {
     #[test]
     fn non_constant_trip_count_is_none() {
         let l = ForOp {
+            extra: Vec::new(),
             iv: "j".into(),
             lbs: vec![Bound::new(LinearExpr::var("i"), 1)],
             ubs: vec![Bound::new(LinearExpr::constant_expr(7), 1)],

@@ -26,14 +26,17 @@ pub trait Pass {
     fn run(&self, func: &mut AffineFunc);
 }
 
-/// Why a pipeline stopped: a structural invariant broke, or an attached
-/// lint hook rejected the function.
+/// Why a pipeline stopped: a structural invariant broke, an attached
+/// lint hook rejected the function, or a translation-validation hook
+/// rejected a rewrite.
 #[derive(Debug)]
 pub enum PassIssue {
     /// The verifier found the IR structurally invalid.
     Verify(VerifyError),
     /// The lint hook reported error-severity diagnostics (rendered).
     Lint(String),
+    /// The check hook rejected a pass's rewrite (rendered certificate).
+    Check(String),
 }
 
 impl fmt::Display for PassIssue {
@@ -41,6 +44,7 @@ impl fmt::Display for PassIssue {
         match self {
             PassIssue::Verify(e) => write!(f, "{e}"),
             PassIssue::Lint(msg) => write!(f, "lint errors:\n{msg}"),
+            PassIssue::Check(msg) => write!(f, "pass check failed:\n{msg}"),
         }
     }
 }
@@ -50,12 +54,19 @@ impl fmt::Display for PassIssue {
 /// than a direct dependency: the lint crate sits *above* the IR crate.
 pub type LintHook = Box<dyn Fn(&AffineFunc) -> Result<(), String>>;
 
+/// A per-pass translation-validation hook: `(pass name, before, after)`.
+/// In practice `pom-verify`'s checked mode, which proves each rewrite
+/// preserves per-statement write footprints. A hook rather than a direct
+/// dependency: the verify crate sits *above* the IR crate.
+pub type CheckHook = Box<dyn Fn(&str, &AffineFunc, &AffineFunc) -> Result<(), String>>;
+
 /// Runs a sequence of passes, optionally verifying after each.
 #[derive(Default)]
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
     verify_each: bool,
     lint: Option<LintHook>,
+    check: Option<CheckHook>,
 }
 
 impl PassManager {
@@ -75,6 +86,14 @@ impl PassManager {
     /// An `Err` aborts the pipeline, naming the offending pass.
     pub fn lint_each(mut self, hook: LintHook) -> Self {
         self.lint = Some(hook);
+        self
+    }
+
+    /// Attaches a translation-validation hook, called after every pass
+    /// with the pass name and the function before/after the rewrite
+    /// (checked mode). An `Err` aborts the pipeline, naming the pass.
+    pub fn check_each(mut self, hook: CheckHook) -> Self {
+        self.check = Some(hook);
         self
     }
 
@@ -102,9 +121,14 @@ impl PassManager {
     /// hook rejects the function.
     pub fn run(&self, func: &mut AffineFunc) -> Result<(), (String, PassIssue)> {
         for p in &self.passes {
+            let before = self.check.as_ref().map(|_| func.clone());
             p.run(func);
             if self.verify_each {
                 verify(func).map_err(|e| (p.name().to_string(), PassIssue::Verify(e)))?;
+            }
+            if let (Some(hook), Some(before)) = (&self.check, &before) {
+                hook(p.name(), before, func)
+                    .map_err(|m| (p.name().to_string(), PassIssue::Check(m)))?;
             }
             if let Some(hook) = &self.lint {
                 hook(func).map_err(|m| (p.name().to_string(), PassIssue::Lint(m)))?;
@@ -393,6 +417,7 @@ mod tests {
             value: pom_dsl::Expr::Load(AccessFn::new("A", vec![LinearExpr::var("j")])) + 1.0,
         };
         let inner = ForOp {
+            extra: Vec::new(),
             iv: "j".into(),
             lbs: vec![cb(0), Bound::new(LinearExpr::var("i") - 10, 1)],
             ubs: vec![cb(7), Bound::new(LinearExpr::var("i") + 100, 1)],
@@ -400,6 +425,7 @@ mod tests {
             body: vec![AffineOp::Store(store)],
         };
         let outer = ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(3)],
@@ -436,6 +462,7 @@ mod tests {
             value: pom_dsl::Expr::Const(1.0),
         };
         let unit = ForOp {
+            extra: Vec::new(),
             iv: "one".into(),
             lbs: vec![cb(3)],
             ubs: vec![cb(3)],
@@ -443,6 +470,7 @@ mod tests {
             body: vec![AffineOp::Store(store)],
         };
         let outer = ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(2)],
@@ -476,6 +504,7 @@ mod tests {
             value: pom_dsl::Expr::Affine(LinearExpr::var("j") * 2),
         };
         let inner = ForOp {
+            extra: Vec::new(),
             iv: "j".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(3)],
@@ -507,6 +536,7 @@ mod tests {
             value: pom_dsl::Expr::Const(1.0),
         };
         let inner = ForOp {
+            extra: Vec::new(),
             iv: "j".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(7)],
@@ -522,6 +552,29 @@ mod tests {
             .run(&mut f)
             .unwrap();
         assert!(matches!(f.body[0], AffineOp::For(_)), "factor < trip kept");
+    }
+
+    #[test]
+    fn check_hook_sees_before_and_after_and_can_reject() {
+        let mut f = redundant_bounds_func();
+        let err = PassManager::new()
+            .add(SimplifyBounds)
+            .check_each(Box::new(|pass, before, after| {
+                assert_eq!(pass, "simplify-bounds");
+                assert_ne!(before, after, "rewrite visible to the hook");
+                Err("rejected by test hook".to_string())
+            }))
+            .run(&mut f)
+            .unwrap_err();
+        assert_eq!(err.0, "simplify-bounds");
+        assert!(matches!(err.1, PassIssue::Check(ref m) if m.contains("rejected by test hook")));
+        assert!(err.1.to_string().contains("pass check failed"));
+
+        let mut f = redundant_bounds_func();
+        PassManager::standard()
+            .check_each(Box::new(|_, _, _| Ok(())))
+            .run(&mut f)
+            .expect("accepting hook does not abort");
     }
 
     fn run_interp(f: &AffineFunc) -> Vec<f64> {

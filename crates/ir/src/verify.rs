@@ -4,13 +4,80 @@ use crate::ops::{AffineFunc, AffineOp};
 use std::collections::HashSet;
 use std::fmt;
 
-/// A verification failure.
+/// Raw `hls.`-namespace attribute keys the verifier understands. They
+/// duplicate the typed [`crate::attrs::HlsAttrs`] fields, so even a
+/// *known* key is rejected in raw form — the raw channel exists for
+/// other namespaces (`vendor.*`, `debug.*`, ...).
+const TYPED_HLS_KEYS: &[&str] = &[
+    "hls.pipeline_ii",
+    "hls.unroll_factor",
+    "hls.dependence_free",
+];
+
+/// A verification failure with the op path it was found at.
+///
+/// `path` is the chain of enclosing induction variables; `stmt` is the
+/// originating statement name when the failure is inside a store. Both
+/// feed the rustc-style location line in the [`fmt::Display`] rendering.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct VerifyError(pub String);
+pub struct VerifyError {
+    /// What went wrong.
+    pub message: String,
+    /// Enclosing loop path (outermost first), empty at function level.
+    pub path: Vec<String>,
+    /// Originating statement, when the failure is inside a store.
+    pub stmt: Option<String>,
+}
+
+impl VerifyError {
+    /// A failure at function level (no op path).
+    pub fn new(message: impl Into<String>) -> Self {
+        VerifyError {
+            message: message.into(),
+            path: Vec::new(),
+            stmt: None,
+        }
+    }
+
+    /// A failure at a loop path.
+    pub fn at(message: impl Into<String>, path: &[String]) -> Self {
+        VerifyError {
+            message: message.into(),
+            path: path.to_vec(),
+            stmt: None,
+        }
+    }
+
+    /// A failure inside statement `stmt` at a loop path.
+    pub fn at_stmt(message: impl Into<String>, path: &[String], stmt: &str) -> Self {
+        VerifyError {
+            message: message.into(),
+            path: path.to_vec(),
+            stmt: Some(stmt.to_string()),
+        }
+    }
+
+    /// Human-readable location, e.g. `for i / for j / S` or `<function>`.
+    pub fn location(&self) -> String {
+        let mut parts: Vec<String> = self.path.iter().map(|iv| format!("for {iv}")).collect();
+        if let Some(s) = &self.stmt {
+            parts.push(s.clone());
+        }
+        if parts.is_empty() {
+            "<function>".to_string()
+        } else {
+            parts.join(" / ")
+        }
+    }
+}
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verification failed: {}", self.0)
+        write!(f, "verification failed: {}", self.message)?;
+        if !self.path.is_empty() || self.stmt.is_some() {
+            write!(f, "\n  --> {}", self.location())?;
+        }
+        Ok(())
     }
 }
 
@@ -24,16 +91,19 @@ impl std::error::Error for VerifyError {}
 ///   loads nested inside `affine.if` bodies,
 /// * store index expressions only reference in-scope ivs,
 /// * HLS attributes are sane (II >= 1, unroll factor >= 1),
+/// * raw attributes in the `hls.` namespace are rejected — unknown keys
+///   are likely misspelled pragmas, known keys must use the typed
+///   [`crate::attrs::HlsAttrs`] fields,
 /// * array partitions are sane (one factor per dimension, factors >= 1).
 ///
 /// # Errors
 ///
-/// Returns the first violation found.
+/// Returns the first violation found, with the op path it occurred at.
 pub fn verify(func: &AffineFunc) -> Result<(), VerifyError> {
     for m in &func.memrefs {
         if let Some(p) = &m.partition {
             if p.factors.len() != m.shape.len() {
-                return Err(VerifyError(format!(
+                return Err(VerifyError::new(format!(
                     "memref {} has rank {}, partition has {} factors",
                     m.name,
                     m.shape.len(),
@@ -41,7 +111,7 @@ pub fn verify(func: &AffineFunc) -> Result<(), VerifyError> {
                 )));
             }
             if let Some(f) = p.factors.iter().find(|&&f| f < 1) {
-                return Err(VerifyError(format!(
+                return Err(VerifyError::new(format!(
                     "memref {} has non-positive partition factor {f}",
                     m.name
                 )));
@@ -60,9 +130,10 @@ fn check_expr_scope(
 ) -> Result<(), VerifyError> {
     for v in e.vars() {
         if !scope.iter().any(|s| s == v) {
-            return Err(VerifyError(format!(
-                "{what} references {v}, which is not an enclosing induction variable"
-            )));
+            return Err(VerifyError::at(
+                format!("{what} references {v}, which is not an enclosing induction variable"),
+                scope,
+            ));
         }
     }
     Ok(())
@@ -78,37 +149,59 @@ fn verify_ops(
         match op {
             AffineOp::For(l) => {
                 if scope.contains(&l.iv) {
-                    return Err(VerifyError(format!(
-                        "induction variable {} shadows an enclosing loop",
-                        l.iv
-                    )));
+                    return Err(VerifyError::at(
+                        format!("induction variable {} shadows an enclosing loop", l.iv),
+                        scope,
+                    ));
                 }
                 if l.lbs.is_empty() || l.ubs.is_empty() {
-                    return Err(VerifyError(format!("loop {} lacks bounds", l.iv)));
+                    return Err(VerifyError::at(
+                        format!("loop {} lacks bounds", l.iv),
+                        scope,
+                    ));
                 }
                 for b in l.lbs.iter().chain(&l.ubs) {
                     if b.div < 1 {
-                        return Err(VerifyError(format!(
-                            "loop {} has non-positive bound divisor {}",
-                            l.iv, b.div
-                        )));
+                        return Err(VerifyError::at(
+                            format!("loop {} has non-positive bound divisor {}", l.iv, b.div),
+                            scope,
+                        ));
                     }
                     check_expr_scope(&b.expr, scope, &format!("bound of loop {}", l.iv))?;
                 }
                 if let Some(ii) = l.attrs.pipeline_ii {
                     if ii < 1 {
-                        return Err(VerifyError(format!(
-                            "loop {} has pipeline II {ii} < 1",
-                            l.iv
-                        )));
+                        return Err(VerifyError::at(
+                            format!("loop {} has pipeline II {ii} < 1", l.iv),
+                            scope,
+                        ));
                     }
                 }
                 if let Some(u) = l.attrs.unroll_factor {
                     if u < 1 {
-                        return Err(VerifyError(format!(
-                            "loop {} has unroll factor {u} < 1",
-                            l.iv
-                        )));
+                        return Err(VerifyError::at(
+                            format!("loop {} has unroll factor {u} < 1", l.iv),
+                            scope,
+                        ));
+                    }
+                }
+                for r in &l.extra {
+                    if r.key.starts_with("hls.") {
+                        let msg = if TYPED_HLS_KEYS.contains(&r.key.as_str()) {
+                            format!(
+                                "raw attribute {} on loop {} duplicates a typed HLS \
+                                 attribute; set the HlsAttrs field instead",
+                                r.key, l.iv
+                            )
+                        } else {
+                            format!(
+                                "unknown HLS pragma attribute {} on loop {} (known: {})",
+                                r.key,
+                                l.iv,
+                                TYPED_HLS_KEYS.join(", ")
+                            )
+                        };
+                        return Err(VerifyError::at(msg, scope));
                     }
                 }
                 scope.push(l.iv.clone());
@@ -124,22 +217,32 @@ fn verify_ops(
             AffineOp::Store(s) => {
                 let check_access = |a: &pom_poly::AccessFn| -> Result<(), VerifyError> {
                     if !memrefs.contains(a.array.as_str()) {
-                        return Err(VerifyError(format!(
-                            "access to undeclared memref {}",
-                            a.array
-                        )));
+                        return Err(VerifyError::at_stmt(
+                            format!("access to undeclared memref {}", a.array),
+                            scope,
+                            &s.stmt,
+                        ));
                     }
                     let decl = func.memref(&a.array).expect("checked above");
                     if decl.shape.len() != a.indices.len() {
-                        return Err(VerifyError(format!(
-                            "memref {} has rank {}, access has {} indices",
-                            a.array,
-                            decl.shape.len(),
-                            a.indices.len()
-                        )));
+                        return Err(VerifyError::at_stmt(
+                            format!(
+                                "memref {} has rank {}, access has {} indices",
+                                a.array,
+                                decl.shape.len(),
+                                a.indices.len()
+                            ),
+                            scope,
+                            &s.stmt,
+                        ));
                     }
                     for e in &a.indices {
-                        check_expr_scope(e, scope, &format!("index of {}", a.array))?;
+                        check_expr_scope(e, scope, &format!("index of {}", a.array)).map_err(
+                            |mut err| {
+                                err.stmt = Some(s.stmt.clone());
+                                err
+                            },
+                        )?;
                     }
                     Ok(())
                 };
@@ -156,7 +259,7 @@ fn verify_ops(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::attrs::{HlsAttrs, MemRefDecl};
+    use crate::attrs::{HlsAttrs, MemRefDecl, RawAttr};
     use crate::ops::{ForOp, StoreOp};
     use pom_dsl::{DataType, Expr};
     use pom_poly::{AccessFn, Bound, LinearExpr};
@@ -169,6 +272,7 @@ mod tests {
         let mut f = AffineFunc::new("f");
         f.memrefs.push(MemRefDecl::new("A", &[8], DataType::F32));
         f.body.push(AffineOp::For(ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(7)],
@@ -192,7 +296,9 @@ mod tests {
         let mut f = valid_func();
         f.memrefs.clear();
         let err = verify(&f).unwrap_err();
-        assert!(err.0.contains("undeclared memref A"));
+        assert!(err.message.contains("undeclared memref A"));
+        assert_eq!(err.path, vec!["i".to_string()]);
+        assert_eq!(err.stmt.as_deref(), Some("S"));
     }
 
     #[test]
@@ -204,7 +310,8 @@ mod tests {
             }
         }
         let err = verify(&f).unwrap_err();
-        assert!(err.0.contains("references z"));
+        assert!(err.message.contains("references z"));
+        assert_eq!(err.stmt.as_deref(), Some("S"));
     }
 
     #[test]
@@ -216,7 +323,7 @@ mod tests {
             }
         }
         let err = verify(&f).unwrap_err();
-        assert!(err.0.contains("rank"));
+        assert!(err.message.contains("rank"));
     }
 
     #[test]
@@ -224,6 +331,7 @@ mod tests {
         let mut f = valid_func();
         if let AffineOp::For(l) = &mut f.body[0] {
             let inner = ForOp {
+                extra: Vec::new(),
                 iv: "i".into(),
                 lbs: vec![cb(0)],
                 ubs: vec![cb(3)],
@@ -233,7 +341,8 @@ mod tests {
             l.body.push(AffineOp::For(inner));
         }
         let err = verify(&f).unwrap_err();
-        assert!(err.0.contains("shadows"));
+        assert!(err.message.contains("shadows"));
+        assert_eq!(err.path, vec!["i".to_string()]);
     }
 
     #[test]
@@ -241,12 +350,67 @@ mod tests {
         let mut f = valid_func();
         f.set_pipeline("i", 0);
         let err = verify(&f).unwrap_err();
-        assert!(err.0.contains("II 0"));
+        assert!(err.message.contains("II 0"));
 
         let mut f = valid_func();
         f.set_unroll("i", -2);
         let err = verify(&f).unwrap_err();
-        assert!(err.0.contains("unroll factor -2"));
+        assert!(err.message.contains("unroll factor -2"));
+    }
+
+    #[test]
+    fn unknown_hls_pragma_fails() {
+        let mut f = valid_func();
+        if let AffineOp::For(l) = &mut f.body[0] {
+            l.extra.push(RawAttr::new("hls.pipelin_ii", "2"));
+        }
+        let err = verify(&f).unwrap_err();
+        assert!(
+            err.message
+                .contains("unknown HLS pragma attribute hls.pipelin_ii"),
+            "{}",
+            err.message
+        );
+        assert!(err.message.contains("hls.pipeline_ii"), "{}", err.message);
+    }
+
+    #[test]
+    fn raw_duplicate_of_typed_hls_attr_fails() {
+        let mut f = valid_func();
+        if let AffineOp::For(l) = &mut f.body[0] {
+            l.extra.push(RawAttr::new("hls.pipeline_ii", "2"));
+        }
+        let err = verify(&f).unwrap_err();
+        assert!(
+            err.message.contains("duplicates a typed HLS"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn non_hls_raw_attrs_are_allowed() {
+        let mut f = valid_func();
+        if let AffineOp::For(l) = &mut f.body[0] {
+            l.extra.push(RawAttr::new("vendor.note", "\"checked\""));
+        }
+        assert_eq!(verify(&f), Ok(()));
+        assert!(f.to_string().contains("vendor.note = \"checked\""));
+    }
+
+    #[test]
+    fn display_renders_location_line() {
+        let mut f = valid_func();
+        f.memrefs.clear();
+        let err = verify(&f).unwrap_err();
+        let rendered = err.to_string();
+        assert!(rendered.starts_with("verification failed: "), "{rendered}");
+        assert!(rendered.contains("\n  --> for i / S"), "{rendered}");
+        assert_eq!(err.location(), "for i / S");
+
+        let fn_level = VerifyError::new("bad partition");
+        assert_eq!(fn_level.location(), "<function>");
+        assert!(!fn_level.to_string().contains("-->"));
     }
 
     #[test]
@@ -271,8 +435,8 @@ mod tests {
             })];
         }
         let err = verify(&f).unwrap_err();
-        assert!(err.0.contains("rank 1"), "{}", err.0);
-        assert!(err.0.contains("2 indices"), "{}", err.0);
+        assert!(err.message.contains("rank 1"), "{}", err.message);
+        assert!(err.message.contains("2 indices"), "{}", err.message);
     }
 
     #[test]
@@ -283,7 +447,11 @@ mod tests {
             style: pom_dsl::PartitionStyle::Cyclic,
         });
         let err = verify(&f).unwrap_err();
-        assert!(err.0.contains("partition has 2 factors"), "{}", err.0);
+        assert!(
+            err.message.contains("partition has 2 factors"),
+            "{}",
+            err.message
+        );
 
         let mut f = valid_func();
         f.memrefs[0].partition = Some(crate::attrs::PartitionInfo {
@@ -291,7 +459,11 @@ mod tests {
             style: pom_dsl::PartitionStyle::Block,
         });
         let err = verify(&f).unwrap_err();
-        assert!(err.0.contains("non-positive partition factor"), "{}", err.0);
+        assert!(
+            err.message.contains("non-positive partition factor"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]
@@ -301,6 +473,6 @@ mod tests {
             l.ubs.clear();
         }
         let err = verify(&f).unwrap_err();
-        assert!(err.0.contains("lacks bounds"));
+        assert!(err.message.contains("lacks bounds"));
     }
 }

@@ -56,6 +56,17 @@ impl Analysis for IiFeasibility {
 /// POM002: every affine access must stay inside its memref's shape for
 /// all points of the governing domain (loop bounds plus `if` guards),
 /// proven by Fourier–Motzkin projection (paper Section V-B).
+///
+/// FM is exact over the rationals and tightens each constraint by its
+/// coefficient gcd, but divided bounds that reference *outer ivs* (tile
+/// edge loops such as `for x in ceil(j/2)..=floor(k/3)`) leave non-unit
+/// coefficients the tightening cannot touch, and eliminating such an iv
+/// keeps the dark-shadow sliver — a rational witness with no integer
+/// point. The check therefore conjoins the integer interval facts of
+/// `pom-verify`'s value-range analysis for the ivs in scope at each
+/// store (including the contradictory pair of an empty loop),
+/// eliminating false positives on min/max- and floor-clamped boundary
+/// indices.
 pub struct BoundsCheck;
 
 impl Analysis for BoundsCheck {
@@ -64,8 +75,31 @@ impl Analysis for BoundsCheck {
     }
 
     fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let ranges = pom_verify::analyze_ranges(cx.func);
         let mut reported: BTreeSet<(String, String, usize, bool)> = BTreeSet::new();
         walk_stores(cx.func, &mut |site| {
+            // Integer interval facts for the ivs in scope at this store.
+            // A bottom interval (`lo > hi`, both finite) contributes a
+            // contradictory pair: the loop never runs, so no access in
+            // its body can breach.
+            let mut range_facts: Vec<Constraint> = Vec::new();
+            for frame in site.loop_path {
+                let Some(r) = ranges.iv_ranges.get(&frame.iv) else {
+                    continue;
+                };
+                if r.lo != i64::MIN {
+                    range_facts.push(Constraint::ge(
+                        LinearExpr::var(&frame.iv),
+                        LinearExpr::constant_expr(r.lo),
+                    ));
+                }
+                if r.hi != i64::MAX {
+                    range_facts.push(Constraint::le(
+                        LinearExpr::var(&frame.iv),
+                        LinearExpr::constant_expr(r.hi),
+                    ));
+                }
+            }
             let mut accesses: Vec<&AccessFn> = vec![&site.store.dest];
             accesses.extend(site.store.value.loads());
             for acc in accesses {
@@ -88,6 +122,7 @@ impl Analysis for BoundsCheck {
                             continue;
                         }
                         let mut cs = site.constraints.to_vec();
+                        cs.extend(range_facts.iter().cloned());
                         cs.push(breach);
                         if fm::feasible(&cs) {
                             reported.insert(key);
@@ -539,6 +574,7 @@ mod tests {
             value: load("x", vec![LinearExpr::var("i")]),
         };
         f.body.push(AffineOp::For(ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(7)],
@@ -613,6 +649,7 @@ mod tests {
         f.memrefs.push(MemRefDecl::new("acc", &[1], DataType::F32));
         f.memrefs.push(MemRefDecl::new("x", &[8], DataType::F32));
         f.body.push(AffineOp::For(ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(7)],
@@ -655,6 +692,7 @@ mod tests {
             value: load("x", vec![LinearExpr::var("i")]),
         };
         f.body.push(AffineOp::For(ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(7)],
@@ -678,6 +716,7 @@ mod tests {
         // Drop the guard: now i + 2 reaches 9.
         let mut f2 = f.clone();
         f2.body = vec![AffineOp::For(ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(7)],
@@ -695,6 +734,76 @@ mod tests {
     }
 
     #[test]
+    fn bounds_check_discharges_rational_only_breach_via_ranges() {
+        // A tile-edge nest whose innermost loop is empty, but only
+        // integrally so:
+        //
+        //   for t0 in 5..=5 { for t1 in 8..=8 {
+        //     for i in ceil(t0/2)..=floor(t1/3) { A[3i - t0 - 2] = ... } } }
+        //
+        // FM sees `2i >= t0` and `3i <= t1` — non-unit coefficients on an
+        // outer-iv bound that gcd tightening cannot touch — and keeps
+        // the rational sliver i in [2.5, 8/3], where the overflow breach
+        // `3i - t0 - 2 >= 1` of the extent-1 array holds at i = 8/3. The
+        // integer interval facts (i in [ceil(5/2), floor(8/3)] = [3, 2],
+        // an empty loop) discharge the false positive.
+        let mut f = AffineFunc::new("clamped");
+        f.memrefs.push(MemRefDecl::new("a", &[1], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("b", &[1], DataType::F32));
+        let idx = LinearExpr::var("i") * 3 - LinearExpr::var("t0") - 2;
+        f.body.push(AffineOp::For(ForOp {
+            extra: Vec::new(),
+            iv: "t0".into(),
+            lbs: vec![cb(5)],
+            ubs: vec![cb(5)],
+            attrs: HlsAttrs::none(),
+            body: vec![AffineOp::For(ForOp {
+                extra: Vec::new(),
+                iv: "t1".into(),
+                lbs: vec![cb(8)],
+                ubs: vec![cb(8)],
+                attrs: HlsAttrs::none(),
+                body: vec![AffineOp::For(ForOp {
+                    extra: Vec::new(),
+                    iv: "i".into(),
+                    lbs: vec![Bound::new(LinearExpr::var("t0"), 2)],
+                    ubs: vec![Bound::new(LinearExpr::var("t1"), 3)],
+                    attrs: HlsAttrs::none(),
+                    body: vec![AffineOp::Store(StoreOp {
+                        stmt: "s".into(),
+                        dest: AccessFn::new("a", vec![idx.clone()]),
+                        value: load("b", vec![idx]),
+                    })],
+                })],
+            })],
+        }));
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+
+        // The raw constraint stack alone is rationally feasible at the
+        // breach — this is exactly the false positive being discharged.
+        let raw = vec![
+            Constraint::ge(LinearExpr::var("t0"), LinearExpr::constant_expr(5)),
+            Constraint::le(LinearExpr::var("t0"), LinearExpr::constant_expr(5)),
+            Constraint::ge(LinearExpr::var("t1"), LinearExpr::constant_expr(8)),
+            Constraint::le(LinearExpr::var("t1"), LinearExpr::constant_expr(8)),
+            Constraint::ge_zero(LinearExpr::var("i") * 2 - LinearExpr::var("t0")),
+            Constraint::ge_zero(LinearExpr::var("t1") - LinearExpr::var("i") * 3),
+            Constraint::ge(
+                LinearExpr::var("i") * 3 - LinearExpr::var("t0") - 2,
+                LinearExpr::constant_expr(1),
+            ),
+        ];
+        assert!(pom_poly::fm::feasible(&raw), "rational witness exists");
+
+        let report = Linter::new()
+            .register(BoundsCheck)
+            .run(&ctx(&f, &deps, &model, &device));
+        assert!(report.is_clean(), "{}", report.render("clamped"));
+    }
+
+    #[test]
     fn port_pressure_flags_underpartitioned_unroll() {
         // Pipelined i with inner fully-unrolled j of trip 8 accessing
         // x[j]: 8 concurrent reads on an unpartitioned 2-port array.
@@ -702,6 +811,7 @@ mod tests {
         f.memrefs.push(MemRefDecl::new("x", &[64], DataType::F32));
         f.memrefs.push(MemRefDecl::new("y", &[64], DataType::F32));
         f.body.push(AffineOp::For(ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(7)],
@@ -710,6 +820,7 @@ mod tests {
                 ..Default::default()
             },
             body: vec![AffineOp::For(ForOp {
+                extra: Vec::new(),
                 iv: "j".into(),
                 lbs: vec![cb(0)],
                 ubs: vec![cb(7)],
@@ -862,6 +973,7 @@ mod tests {
         f.memrefs.push(MemRefDecl::new("acc", &[1], DataType::F32));
         f.memrefs.push(MemRefDecl::new("x", &[8], DataType::F32));
         f.body.push(AffineOp::For(ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(7)],
@@ -891,11 +1003,13 @@ mod tests {
         f.memrefs.push(MemRefDecl::new("out", &[1], DataType::F32));
         f.memrefs.push(MemRefDecl::new("x", &[8], DataType::F32));
         f.body.push(AffineOp::For(ForOp {
+            extra: Vec::new(),
             iv: "t".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(3)],
             attrs: HlsAttrs::none(),
             body: vec![AffineOp::For(ForOp {
+                extra: Vec::new(),
                 iv: "i".into(),
                 lbs: vec![cb(0)],
                 ubs: vec![cb(7)],

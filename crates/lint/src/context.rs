@@ -228,6 +228,7 @@ mod tests {
             body: vec![AffineOp::Store(store)],
         };
         f.body.push(AffineOp::For(ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(7)],
@@ -262,6 +263,7 @@ mod tests {
     fn loop_walker_includes_self_in_path() {
         let mut f = AffineFunc::new("t");
         f.body.push(AffineOp::For(ForOp {
+            extra: Vec::new(),
             iv: "i".into(),
             lbs: vec![cb(0)],
             ubs: vec![cb(3)],
@@ -270,6 +272,7 @@ mod tests {
                 ..Default::default()
             },
             body: vec![AffineOp::For(ForOp {
+                extra: Vec::new(),
                 iv: "j".into(),
                 lbs: vec![cb(0)],
                 ubs: vec![cb(1)],

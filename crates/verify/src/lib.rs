@@ -1,0 +1,35 @@
+//! # pom-verify — translation validation + abstract interpretation
+//!
+//! The pipeline's correctness layer (DESIGN.md §9). Two pillars:
+//!
+//! 1. **Translation validation** ([`tv`]): every rewrite the
+//!    PassManager or the two-stage DSE applies is replayed through the
+//!    polyhedral layer and certified — dependences stay
+//!    lexicographically non-negative under the new schedule, iteration
+//!    domains and access footprints are preserved, and producers still
+//!    execute before consumers. Failing candidates are rejected with a
+//!    rustc-style diagnostic ([`ValidationReport::render`]) instead of
+//!    silently miscompiling.
+//!
+//! 2. **A monotone dataflow framework** ([`dataflow`]): forward and
+//!    backward walks over the annotated affine IR with interval and
+//!    known-bits domains, powering value-range analysis (consumed by
+//!    pom-lint's bounds check), uninitialized-read detection, and
+//!    bitwidth-narrowing hints (consumed by the HLS cost model).
+//!
+//! The crate sits below `pom-dse`, `pom-lint`, and `pom-hls` in the
+//! dependency graph and depends only on `pom-poly`, `pom-dsl`, and
+//! `pom-ir`.
+
+pub mod cert;
+pub mod dataflow;
+pub mod passes;
+pub mod tv;
+
+pub use cert::{Certificate, Obligation, ObligationKind, ObligationStatus, ValidationReport};
+pub use dataflow::{
+    analyze_ranges, expr_interval, narrowing_hints, uninit_reads, AbstractValue, BitwidthHint,
+    Direction, Interval, KnownBits, UninitRead, ValueRanges,
+};
+pub use passes::{check_hook, check_pass};
+pub use tv::{validate, validate_with, ValidateOptions};
