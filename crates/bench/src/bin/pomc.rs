@@ -29,7 +29,7 @@
 //! seidel, edge_detect, gaussian, blur, vgg16, resnet18.
 
 use pom::{auto_dse, baselines, CompileOptions, Function, Pom};
-use pom_bench::experiments::{bench_dse, verify_suite};
+use pom_bench::experiments::{bench_dse, bench_poly, verify_suite};
 
 fn kernel_by_name(name: &str, size: usize) -> Option<Function> {
     use pom_bench::kernels as k;
@@ -52,7 +52,71 @@ fn kernel_by_name(name: &str, size: usize) -> Option<Function> {
     })
 }
 
-const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify] [--no-dse]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]\n       pomc verify-all [--size N] [--sample-every K] [--out PATH]";
+const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify] [--no-dse]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]\n       pomc bench-poly [--iters N] [--out PATH] [--baseline PATH]\n       pomc verify-all [--size N] [--sample-every K] [--out PATH]";
+
+fn bench_poly_main(args: &[String]) -> ! {
+    let mut iters = 200usize;
+    let mut out = "BENCH_poly.json".to_string();
+    let mut baseline_path = "BENCH_poly_baseline.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                iters = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--iters expects a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--baseline" => {
+                baseline_path = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--baseline expects a path");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = bench_poly::run_suite(iters);
+    print!("{}", bench_poly::render(&report));
+    if let Err(e) = std::fs::write(&out, bench_poly::to_json(&report)) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match bench_poly::parse_baseline(&text) {
+            Some(b) => Some(b),
+            None => {
+                eprintln!("FAIL: {baseline_path} exists but does not parse");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => {
+            println!("no baseline at {baseline_path}; gating on floors only");
+            None
+        }
+    };
+    let fails = bench_poly::gate(&report, baseline.as_ref());
+    for f in &fails {
+        eprintln!("FAIL: {f}");
+    }
+    std::process::exit(if fails.is_empty() { 0 } else { 1 });
+}
 
 fn verify_all_main(args: &[String]) -> ! {
     let mut size = 32usize;
@@ -177,6 +241,9 @@ fn main() {
     if kernel == "bench-dse" {
         bench_dse_main(&args[1..]);
     }
+    if kernel == "bench-poly" {
+        bench_poly_main(&args[1..]);
+    }
     if kernel == "verify-all" {
         verify_all_main(&args[1..]);
     }
@@ -273,6 +340,7 @@ fn main() {
                     r.stats.lowering_time.as_secs_f64(),
                     r.stats.estimation_time.as_secs_f64()
                 );
+                println!("DSE poly kernel: {}", r.stats.poly);
             }
             if report.has_errors() {
                 std::process::exit(1);

@@ -16,9 +16,11 @@
 //! | [`fig16`] | Fig. 16 — Jacobi-1d DSL walkthrough |
 //! | [`ext_dtypes`] | Extension — data-type customization (Table I capability) |
 //! | [`bench_dse`] | DSE perf harness — serial seed vs parallel + memoized |
+//! | [`bench_poly`] | Polyhedral kernel microbench — dense vs reference |
 //! | [`verify_suite`] | Certificate sweep — `pomc verify-all` over the suite |
 
 pub mod bench_dse;
+pub mod bench_poly;
 pub mod common;
 pub mod ext_dtypes;
 pub mod fig02;

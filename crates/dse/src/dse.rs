@@ -80,6 +80,7 @@ pub fn auto_dse_with(
     cfg: &DseConfig,
 ) -> Result<DseResult, CompileError> {
     let start = Instant::now();
+    let poly_before = pom_poly::PolyStats::snapshot();
     let cache = cfg.cache.then(DseCache::new);
     let acc = PhaseAccum::default();
     let t1 = Instant::now();
@@ -135,6 +136,10 @@ pub fn auto_dse_with(
         stats.dataflow_iterations = pom_verify::analyze_ranges(&compiled.affine).iterations;
     }
     let dse_time: Duration = start.elapsed();
+    // The counters are process-global, so under parallel evaluation this
+    // delta includes the worker threads' kernel activity too — exactly the
+    // whole-search total the perf triage wants.
+    stats.poly = pom_poly::PolyStats::snapshot().delta(&poly_before);
     stats.stage1_time = stage1_time;
     stats.lowering_time = acc.lowering();
     stats.estimation_time = acc.estimation();

@@ -57,6 +57,9 @@ pub struct DseStats {
     /// Fixpoint iterations of the dataflow value-range analysis over the
     /// winning design.
     pub dataflow_iterations: usize,
+    /// Polyhedral-kernel counters (FM eliminations, fan-out combinations,
+    /// projection-memo hits) accumulated across the whole search.
+    pub poly: pom_poly::PolyStats,
 }
 
 /// The outcome of [`bottleneck_optimize_with`]: the fully scheduled

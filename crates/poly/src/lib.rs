@@ -15,10 +15,15 @@
 //! * an `ast_build`-style polyhedral AST generator emitting
 //!   for/if/block/user nodes ([`astbuild`], Section V-B).
 //!
-//! The representation is name-keyed rather than position-keyed: an
-//! expression such as `2*i + j - 1` stores its coefficients under the
-//! iterator *names*, which makes loop interchange a pure reordering of the
-//! dimension list and keeps every transformation compositional.
+//! The *API* is name-keyed — an expression such as `2*i + j - 1` is
+//! addressed by its iterator names, which makes loop interchange a pure
+//! reordering of the dimension list and keeps every transformation
+//! compositional — but the *storage* is dense: names are interned once
+//! into the process-wide [`space`] table and expressions hold sorted
+//! `(DimId, i64)` coefficient rows, so the Fourier–Motzkin and dependence
+//! hot paths never touch a `String`. The original `BTreeMap`-backed
+//! kernel survives as [`reference`], the oracle for the differential
+//! proptest suite and the baseline for `pomc bench-poly`.
 //!
 //! ```
 //! use pom_poly::{BasicSet, LinearExpr};
@@ -36,8 +41,11 @@ pub mod expr;
 pub mod fm;
 pub mod map;
 pub mod parse;
+pub mod reference;
 pub mod schedule;
 pub mod set;
+pub mod space;
+pub mod stats;
 pub mod transform;
 pub mod vector;
 
@@ -49,6 +57,8 @@ pub use map::Map;
 pub use parse::{parse_set, ParseError};
 pub use schedule::{schedule_map, timestamp, UnionMap};
 pub use set::BasicSet;
+pub use space::{DimId, PolyError};
+pub use stats::PolyStats;
 pub use transform::StmtPoly;
 pub use vector::{Direction, DirectionVector, DistanceVector};
 

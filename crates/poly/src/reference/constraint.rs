@@ -1,8 +1,7 @@
 //! Affine constraints: equalities and inequalities over named dimensions.
 
-use crate::expr::LinearExpr;
+use super::expr::LinearExpr;
 use crate::gcd;
-use crate::space::{DimId, PolyError};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -88,34 +87,12 @@ impl Constraint {
         self.expr.uses(name)
     }
 
-    /// True when the constraint mentions the interned dimension.
-    #[inline]
-    pub fn uses_id(&self, id: DimId) -> bool {
-        self.expr.uses_id(id)
-    }
-
     /// Substitutes `name := replacement`.
     pub fn substituted(&self, name: &str, replacement: &LinearExpr) -> Constraint {
         Constraint {
             expr: self.expr.substituted(name, replacement),
             kind: self.kind,
         }
-    }
-
-    /// Id-keyed, overflow-checked [`Constraint::substituted`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PolyError::Overflow`] on `i64` overflow.
-    pub fn try_substituted_id(
-        &self,
-        id: DimId,
-        replacement: &LinearExpr,
-    ) -> Result<Constraint, PolyError> {
-        Ok(Constraint {
-            expr: self.expr.try_substituted_id(id, replacement)?,
-            kind: self.kind,
-        })
     }
 
     /// Renames dimension `from` to `to`.
@@ -141,9 +118,9 @@ impl Constraint {
         if g == 1 {
             return Some(self.clone());
         }
-        let mut expr = self.expr.clone();
-        for (_, c) in expr.terms_ids_mut() {
-            *c /= g;
+        let mut expr = LinearExpr::zero();
+        for (name, c) in self.expr.terms() {
+            expr.set_coeff(name, c / g);
         }
         match self.kind {
             ConstraintKind::Eq => {
@@ -194,68 +171,4 @@ pub fn eq_has_integer_solutions(expr: &LinearExpr) -> bool {
         return expr.constant() == 0;
     }
     expr.constant() % gcd(g, 0) == 0 && expr.constant() % g == 0
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn pt(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
-        pairs.iter().map(|&(n, v)| (n.to_string(), v)).collect()
-    }
-
-    #[test]
-    fn comparison_constructors() {
-        let i = LinearExpr::var("i");
-        let c = Constraint::lt(i.clone(), LinearExpr::constant_expr(4));
-        assert!(c.satisfied(&pt(&[("i", 3)])));
-        assert!(!c.satisfied(&pt(&[("i", 4)])));
-
-        let c = Constraint::gt(i.clone(), LinearExpr::constant_expr(0));
-        assert!(c.satisfied(&pt(&[("i", 1)])));
-        assert!(!c.satisfied(&pt(&[("i", 0)])));
-
-        let c = Constraint::eq(i, LinearExpr::var("j"));
-        assert!(c.satisfied(&pt(&[("i", 2), ("j", 2)])));
-        assert!(!c.satisfied(&pt(&[("i", 2), ("j", 3)])));
-    }
-
-    #[test]
-    fn normalization_tightens_inequality() {
-        // 2i - 3 >= 0  =>  i - 2 >= 0 (i >= 1.5 tightens to i >= 2)
-        let c = Constraint::ge_zero(LinearExpr::var("i") * 2 - 3);
-        let n = c.normalized().expect("feasible");
-        assert_eq!(n.expr.coeff("i"), 1);
-        assert_eq!(n.expr.constant(), -2);
-    }
-
-    #[test]
-    fn normalization_detects_infeasible_equality() {
-        // 2i + 1 == 0 has no integer solutions
-        let c = Constraint::eq_zero(LinearExpr::var("i") * 2 + 1);
-        assert!(c.normalized().is_none());
-    }
-
-    #[test]
-    fn normalization_divides_equality() {
-        let c = Constraint::eq_zero(LinearExpr::var("i") * 4 - 8);
-        let n = c.normalized().expect("feasible");
-        assert_eq!(n.expr.coeff("i"), 1);
-        assert_eq!(n.expr.constant(), -2);
-    }
-
-    #[test]
-    fn trivial_detection() {
-        assert!(Constraint::ge_zero(LinearExpr::constant_expr(0)).is_trivially_true());
-        assert!(Constraint::ge_zero(LinearExpr::constant_expr(-1)).is_trivially_false());
-        assert!(Constraint::eq_zero(LinearExpr::constant_expr(0)).is_trivially_true());
-        assert!(Constraint::eq_zero(LinearExpr::constant_expr(2)).is_trivially_false());
-        assert!(!Constraint::ge_zero(LinearExpr::var("i")).is_trivially_true());
-    }
-
-    #[test]
-    fn display() {
-        let c = Constraint::ge(LinearExpr::var("i"), LinearExpr::constant_expr(1));
-        assert_eq!(c.to_string(), "i - 1 >= 0");
-    }
 }

@@ -11,10 +11,10 @@
 //! correspond to reuse carried by a loop (e.g. `q[i]` re-read along `j` in
 //! BICG), giving a minimal carried distance of one at that level.
 
-use crate::constraint::Constraint;
-use crate::expr::LinearExpr;
-use crate::fm;
-use crate::set::BasicSet;
+use super::constraint::Constraint;
+use super::expr::LinearExpr;
+use super::fm;
+use super::set::BasicSet;
 use crate::vector::{Direction, DirectionVector, DistanceVector};
 use std::fmt;
 
@@ -318,19 +318,15 @@ impl DependenceAnalysis {
     /// cheaper per-dimension extent test; this is exposed for callers that
     /// need exactness on coupled domains.
     pub fn distance_realizable(&self, d: &[i64], dims: &[String], domain: &BasicSet) -> bool {
-        let dim_ids: Vec<crate::DimId> = dims.iter().map(|s| crate::DimId::intern(s)).collect();
         let mut cs: Vec<Constraint> = domain.constraints().to_vec();
         for c in domain.constraints() {
-            // Shift: substitute each dim x with (x + d_x). Shifting an
-            // affine constraint only moves its constant, by coeff(x)*d_x.
+            // Shift: substitute each dim x with (x + d_x).
             let mut shifted = c.clone();
-            let mut delta_const: i64 = 0;
-            for (&id, &delta) in dim_ids.iter().zip(d) {
-                if delta != 0 {
-                    delta_const += shifted.expr.coeff_id(id) * delta;
+            for (dim, delta) in dims.iter().zip(d) {
+                if *delta != 0 {
+                    shifted = shifted.substituted(dim, &(LinearExpr::var(dim) + *delta));
                 }
             }
-            shifted.expr.add_constant(delta_const);
             cs.push(shifted);
         }
         fm::feasible(&cs)
@@ -441,7 +437,6 @@ pub fn solve_integer_system(a: &[Vec<i64>], b: &[i64]) -> Option<(Vec<i64>, Vec<
     let mut row = 0;
     while row < m {
         let mut best: Option<(usize, usize, i128)> = None; // (row, col, |num/den| rank)
-        #[allow(clippy::needless_range_loop)] // pivot search reads (r, col) pairs
         for col in 0..n {
             if pivot_cols.contains(&col) {
                 continue;
@@ -485,8 +480,8 @@ pub fn solve_integer_system(a: &[Vec<i64>], b: &[i64]) -> Option<(Vec<i64>, Vec<
     }
 
     // Inconsistency check: zero row with non-zero rhs.
-    for mrow in mat.iter().take(m).skip(row) {
-        if mrow[..n].iter().all(|x| x.0 == 0) && mrow[n].0 != 0 {
+    for r in row..m {
+        if mat[r][..n].iter().all(|x| x.0 == 0) && mat[r][n].0 != 0 {
             return None;
         }
     }
@@ -578,165 +573,4 @@ pub fn solve_integer_system(a: &[Vec<i64>], b: &[i64]) -> Option<(Vec<i64>, Vec<
         basis.push(v);
     }
     Some((particular, basis))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn dims(names: &[&str]) -> Vec<String> {
-        names.iter().map(|s| s.to_string()).collect()
-    }
-
-    #[test]
-    fn solve_unique_system() {
-        // d1 = 1, d2 = 1 (Fig. 1: A[i][j] vs A[i-1][j-1]).
-        let a = vec![vec![1, 0], vec![0, 1]];
-        let b = vec![1, 1];
-        let (p, ns) = solve_integer_system(&a, &b).expect("solvable");
-        assert_eq!(p, vec![1, 1]);
-        assert!(ns.is_empty());
-    }
-
-    #[test]
-    fn solve_underdetermined_system() {
-        // GEMM store C(i,j) vs read C(i,j) under dims (i,j,k): A has a zero
-        // k column -> nullspace e_k.
-        let a = vec![vec![1, 0, 0], vec![0, 1, 0]];
-        let b = vec![0, 0];
-        let (p, ns) = solve_integer_system(&a, &b).expect("solvable");
-        assert_eq!(p, vec![0, 0, 0]);
-        assert_eq!(ns, vec![vec![0, 0, 1]]);
-    }
-
-    #[test]
-    fn solve_inconsistent_system() {
-        let a = vec![vec![1, 0], vec![1, 0]];
-        let b = vec![0, 1];
-        assert!(solve_integer_system(&a, &b).is_none());
-    }
-
-    #[test]
-    fn solve_fractional_is_rejected() {
-        // 2d = 1 has no integer solution.
-        let a = vec![vec![2]];
-        let b = vec![1];
-        assert!(solve_integer_system(&a, &b).is_none());
-    }
-
-    #[test]
-    fn fig1_dependence() {
-        // S: A[i][j] = A[i-1][j-1] * 2 + 3 over 1 <= i, j <= 4.
-        let d = dims(&["i", "j"]);
-        let domain = BasicSet::from_bounds(&[("i", 1, 4), ("j", 1, 4)]);
-        let write = AccessFn::new("A", vec![LinearExpr::var("i"), LinearExpr::var("j")]);
-        let read = AccessFn::new(
-            "A",
-            vec![LinearExpr::var("i") - 1, LinearExpr::var("j") - 1],
-        );
-        let deps =
-            DependenceAnalysis::new().analyze_pair(&write, &read, DepKind::Flow, &d, &domain);
-        assert_eq!(deps.len(), 1);
-        let dep = &deps[0];
-        assert_eq!(dep.distance, Some(DistanceVector(vec![1, 1])));
-        assert_eq!(dep.direction.to_string(), "(<, <)");
-        assert_eq!(dep.carried_level, Some(0));
-    }
-
-    #[test]
-    fn gemm_reduction_dependence() {
-        // C[i][j] += ... : write C(i,j), read C(i,j), dims (i,j,k).
-        let d = dims(&["i", "j", "k"]);
-        let domain = BasicSet::from_bounds(&[("i", 0, 31), ("j", 0, 31), ("k", 0, 31)]);
-        let acc = AccessFn::new("C", vec![LinearExpr::var("i"), LinearExpr::var("j")]);
-        let deps = DependenceAnalysis::new().analyze_pair(&acc, &acc, DepKind::Flow, &d, &domain);
-        // Loop-independent (same iteration) + carried at k with distance 1.
-        assert!(deps
-            .iter()
-            .any(|x| x.carried_level == Some(2) && x.carried_distance() == Some(1)));
-        assert!(deps.iter().any(|x| x.carried_level.is_none()));
-        // Paper Fig. 8: distance vector (0, 0, 1).
-        let carried = deps.iter().find(|x| x.carried_level == Some(2)).unwrap();
-        assert_eq!(carried.distance, Some(DistanceVector(vec![0, 0, 1])));
-    }
-
-    #[test]
-    fn bicg_q_dependence_carried_at_inner_loop() {
-        // q[i] = q[i] + A[i][j] * p[j], dims (i, j): dependence carried at
-        // level 1 (j) with distance (0, 1).
-        let d = dims(&["i", "j"]);
-        let domain = BasicSet::from_bounds(&[("i", 0, 31), ("j", 0, 31)]);
-        let acc = AccessFn::new("q", vec![LinearExpr::var("i")]);
-        let deps = DependenceAnalysis::new().analyze_pair(&acc, &acc, DepKind::Flow, &d, &domain);
-        let carried: Vec<_> = deps.iter().filter(|x| x.is_loop_carried()).collect();
-        assert!(carried
-            .iter()
-            .any(|x| x.carried_level == Some(1) && x.carried_distance() == Some(1)));
-    }
-
-    #[test]
-    fn seidel_multi_direction_dependences() {
-        // A[i][j] reads A[i-1][j], A[i][j-1]: two uniform flow deps.
-        let d = dims(&["i", "j"]);
-        let domain = BasicSet::from_bounds(&[("i", 1, 30), ("j", 1, 30)]);
-        let write = AccessFn::new("A", vec![LinearExpr::var("i"), LinearExpr::var("j")]);
-        let read_n = AccessFn::new("A", vec![LinearExpr::var("i") - 1, LinearExpr::var("j")]);
-        let read_w = AccessFn::new("A", vec![LinearExpr::var("i"), LinearExpr::var("j") - 1]);
-        let an = DependenceAnalysis::new();
-        let dn = an.analyze_pair(&write, &read_n, DepKind::Flow, &d, &domain);
-        let dw = an.analyze_pair(&write, &read_w, DepKind::Flow, &d, &domain);
-        assert!(dn
-            .iter()
-            .any(|x| x.distance == Some(DistanceVector(vec![1, 0]))));
-        assert!(dw
-            .iter()
-            .any(|x| x.distance == Some(DistanceVector(vec![0, 1]))));
-    }
-
-    #[test]
-    fn unrealizable_distance_is_dropped() {
-        // Domain of width 1 along i cannot carry distance 2 deps:
-        // A[i] vs A[i-2] over 0 <= i <= 1 overlaps only i=2.. which is
-        // outside the domain.
-        let d = dims(&["i"]);
-        let domain = BasicSet::from_bounds(&[("i", 0, 1)]);
-        let write = AccessFn::new("A", vec![LinearExpr::var("i")]);
-        let read = AccessFn::new("A", vec![LinearExpr::var("i") - 2]);
-        let deps =
-            DependenceAnalysis::new().analyze_pair(&write, &read, DepKind::Flow, &d, &domain);
-        assert!(deps.is_empty());
-    }
-
-    #[test]
-    fn different_arrays_never_depend() {
-        let d = dims(&["i"]);
-        let domain = BasicSet::from_bounds(&[("i", 0, 9)]);
-        let a = AccessFn::new("A", vec![LinearExpr::var("i")]);
-        let b = AccessFn::new("B", vec![LinearExpr::var("i")]);
-        assert!(DependenceAnalysis::new()
-            .analyze_pair(&a, &b, DepKind::Flow, &d, &domain)
-            .is_empty());
-    }
-
-    #[test]
-    fn non_uniform_is_conservative() {
-        // Write A[i][j], read A[j][i] (transpose): non-uniform.
-        let d = dims(&["i", "j"]);
-        let domain = BasicSet::from_bounds(&[("i", 0, 7), ("j", 0, 7)]);
-        let w = AccessFn::new("A", vec![LinearExpr::var("i"), LinearExpr::var("j")]);
-        let r = AccessFn::new("A", vec![LinearExpr::var("j"), LinearExpr::var("i")]);
-        let deps = DependenceAnalysis::new().analyze_pair(&w, &r, DepKind::Flow, &d, &domain);
-        assert_eq!(deps.len(), 1);
-        assert!(deps[0].distance.is_none());
-        assert_eq!(deps[0].direction.0[0], Direction::Unknown);
-    }
-
-    #[test]
-    fn reduction_dim_detection() {
-        let d = dims(&["i", "j", "k"]);
-        let store = AccessFn::new("D", vec![LinearExpr::var("i"), LinearExpr::var("j")]);
-        assert_eq!(store.reduction_dims(&d), vec![2]);
-        let store2 = AccessFn::new("x", vec![LinearExpr::var("k")]);
-        assert_eq!(store2.reduction_dims(&d), vec![0, 1]);
-    }
 }

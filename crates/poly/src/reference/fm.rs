@@ -1,0 +1,179 @@
+//! Fourier–Motzkin elimination with integer tightening.
+//!
+//! The projection engine behind loop-bound derivation and feasibility
+//! checks. Equalities are eliminated by substitution whenever a unit (or
+//! divisible) coefficient is available, which keeps the projection exact
+//! for the constraint systems produced by the transformations in Table II
+//! of the paper (tiling, splitting, skewing and interchange all introduce
+//! only unit-coefficient occurrences of the dimension being eliminated).
+
+use super::constraint::{Constraint, ConstraintKind};
+use super::expr::LinearExpr;
+use std::collections::BTreeSet;
+
+/// Result of projecting a dimension out of a constraint system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Projection {
+    /// The projected system.
+    Feasible(Vec<Constraint>),
+    /// The system was proven infeasible during elimination.
+    Infeasible,
+}
+
+impl Projection {
+    /// Unwraps the constraints, mapping infeasibility to an empty marker
+    /// constraint `-1 >= 0`.
+    pub fn into_constraints(self) -> Vec<Constraint> {
+        match self {
+            Projection::Feasible(cs) => cs,
+            Projection::Infeasible => vec![Constraint::ge_zero(LinearExpr::constant_expr(-1))],
+        }
+    }
+}
+
+/// Normalizes, deduplicates, and drops trivially-true constraints.
+/// Returns `None` when a constraint is discovered to be unsatisfiable.
+pub fn simplify(constraints: &[Constraint]) -> Option<Vec<Constraint>> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for c in constraints {
+        let n = c.normalized()?;
+        if n.is_trivially_false() {
+            return None;
+        }
+        if n.is_trivially_true() {
+            continue;
+        }
+        if seen.insert((n.kind, n.expr.clone())) {
+            out.push(n);
+        }
+    }
+    Some(out)
+}
+
+/// Eliminates `var` from the system, returning constraints that describe
+/// the (integer-tightened) shadow of the original system.
+pub fn eliminate(constraints: &[Constraint], var: &str) -> Projection {
+    let Some(cs) = simplify(constraints) else {
+        return Projection::Infeasible;
+    };
+
+    // 1. Try equality substitution: find an equality a*var + rest == 0.
+    if let Some(cs) = try_equality_substitution(&cs, var) {
+        return match simplify(&cs) {
+            Some(cs) => Projection::Feasible(cs),
+            None => Projection::Infeasible,
+        };
+    }
+
+    // 2. Classic Fourier–Motzkin on inequalities. Equalities mentioning
+    //    `var` with non-unit, non-divisible coefficients are expanded into
+    //    two inequalities first.
+    let mut lowers: Vec<(i64, LinearExpr)> = Vec::new(); // a*var >= -rest, a > 0
+    let mut uppers: Vec<(i64, LinearExpr)> = Vec::new(); // b*var <= rest', b > 0
+    let mut rest: Vec<Constraint> = Vec::new();
+
+    let push_ineq = |expr: &LinearExpr,
+                     lowers: &mut Vec<(i64, LinearExpr)>,
+                     uppers: &mut Vec<(i64, LinearExpr)>,
+                     rest: &mut Vec<Constraint>| {
+        let a = expr.coeff(var);
+        if a == 0 {
+            rest.push(Constraint::ge_zero(expr.clone()));
+        } else {
+            let mut others = expr.clone();
+            others.set_coeff(var, 0);
+            if a > 0 {
+                // a*var + others >= 0  =>  a*var >= -others
+                lowers.push((a, -others));
+            } else {
+                // a*var + others >= 0  =>  (-a)*var <= others
+                uppers.push((-a, others));
+            }
+        }
+    };
+
+    for c in &cs {
+        match c.kind {
+            ConstraintKind::GeZero => push_ineq(&c.expr, &mut lowers, &mut uppers, &mut rest),
+            ConstraintKind::Eq => {
+                if c.expr.uses(var) {
+                    push_ineq(&c.expr, &mut lowers, &mut uppers, &mut rest);
+                    let neg = -c.expr.clone();
+                    push_ineq(&neg, &mut lowers, &mut uppers, &mut rest);
+                } else {
+                    rest.push(c.clone());
+                }
+            }
+        }
+    }
+
+    // Combine every lower bound with every upper bound:
+    //   a*var >= lo  and  b*var <= hi   =>   b*lo <= a*b*var <= a*hi
+    //   => a*hi - b*lo >= 0
+    for (a, lo) in &lowers {
+        for (b, hi) in &uppers {
+            let combined = hi.clone() * *a - lo.clone() * *b;
+            rest.push(Constraint::ge_zero(combined));
+        }
+    }
+
+    match simplify(&rest) {
+        Some(cs) => Projection::Feasible(cs),
+        None => Projection::Infeasible,
+    }
+}
+
+/// Eliminates several variables in order.
+pub fn eliminate_all(constraints: &[Constraint], vars: &[&str]) -> Projection {
+    let mut cur = constraints.to_vec();
+    for v in vars {
+        match eliminate(&cur, v) {
+            Projection::Feasible(cs) => cur = cs,
+            Projection::Infeasible => return Projection::Infeasible,
+        }
+    }
+    Projection::Feasible(cur)
+}
+
+/// Rational + GCD feasibility check: eliminates every variable and checks
+/// the residual constant constraints. Sound for "infeasible" answers;
+/// "feasible" is exact whenever every elimination had a unit coefficient
+/// available (true for all constraint systems POM generates).
+pub fn feasible(constraints: &[Constraint]) -> bool {
+    let Some(cs) = simplify(constraints) else {
+        return false;
+    };
+    let mut vars: BTreeSet<String> = BTreeSet::new();
+    for c in &cs {
+        for v in c.expr.vars() {
+            vars.insert(v.to_string());
+        }
+    }
+    let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+    match eliminate_all(&cs, &var_refs) {
+        Projection::Feasible(residual) => residual.iter().all(|c| !c.is_trivially_false()),
+        Projection::Infeasible => false,
+    }
+}
+
+fn try_equality_substitution(cs: &[Constraint], var: &str) -> Option<Vec<Constraint>> {
+    // Prefer an equality where |coeff(var)| == 1 for an exact substitution.
+    let pos = cs
+        .iter()
+        .position(|c| c.kind == ConstraintKind::Eq && matches!(c.expr.coeff(var), 1 | -1))?;
+    let eqc = &cs[pos];
+    let a = eqc.expr.coeff(var);
+    // a*var + rest == 0 => var = -rest / a; with |a| == 1: var = -a * rest.
+    let mut rest = eqc.expr.clone();
+    rest.set_coeff(var, 0);
+    let replacement = -rest * a; // a is ±1 so this is exact
+    let mut out = Vec::with_capacity(cs.len() - 1);
+    for (i, c) in cs.iter().enumerate() {
+        if i == pos {
+            continue;
+        }
+        out.push(c.substituted(var, &replacement));
+    }
+    Some(out)
+}

@@ -1,0 +1,33 @@
+//! The original name-keyed polyhedral kernel, preserved verbatim.
+//!
+//! This is the seed implementation of `expr`/`constraint`/`set`/`fm`/
+//! `dependence` — `BTreeMap<String, i64>` expressions and string-keyed
+//! constraint systems — kept for two jobs:
+//!
+//! 1. **Differential oracle.** The proptest suite in
+//!    `tests/differential.rs` round-trips random constraint systems
+//!    through the dense interned representation and checks `project`,
+//!    `is_empty`, `bounds_of`, and dependence results against this
+//!    module, pinning the new kernel to the old semantics.
+//! 2. **Bench baseline.** `pomc bench-poly` times the dense kernel
+//!    against this module on identical inputs; the speedup *ratio* is
+//!    machine-portable, so CI can gate on it where an absolute
+//!    wall-clock baseline would not travel between runners.
+//!
+//! Nothing in the production pipeline calls into this module; only unit
+//! tests having been stripped distinguishes it from the seed sources.
+
+// Frozen snapshot: stylistic lints stay silenced rather than editing the
+// preserved code out from under the differential suite.
+#![allow(clippy::needless_range_loop, clippy::type_complexity, clippy::manual_contains)]
+
+pub mod constraint;
+pub mod dependence;
+pub mod expr;
+pub mod fm;
+pub mod set;
+
+pub use constraint::{Constraint, ConstraintKind};
+pub use dependence::{AccessFn, DependenceAnalysis};
+pub use expr::LinearExpr;
+pub use set::BasicSet;

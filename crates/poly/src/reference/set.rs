@@ -1,33 +1,11 @@
 //! Integer sets: iteration domains as conjunctions of affine constraints.
 
-use crate::constraint::{Constraint, ConstraintKind};
-use crate::expr::LinearExpr;
-use crate::fm::{self, Projection};
-use crate::space::{DimId, PolyError};
+use super::constraint::{Constraint, ConstraintKind};
+use super::expr::LinearExpr;
+use super::fm::{self, Projection};
 use crate::{ceil_div, floor_div};
 use std::collections::HashMap;
 use std::fmt;
-
-/// Evaluates a dense expression row against a point given in `dim_ids`
-/// order. Dimensions beyond `point.len()` (an un-assigned suffix during
-/// enumeration) and ids absent from `dim_ids` evaluate as zero when
-/// `missing_zero`, and panic otherwise — mirroring
-/// [`LinearExpr::eval_partial`] and [`LinearExpr::eval`] respectively,
-/// without building a `HashMap<String, i64>` per evaluated point.
-fn eval_dense(expr: &LinearExpr, dim_ids: &[DimId], point: &[i64], missing_zero: bool) -> i64 {
-    let mut v = expr.constant();
-    for &(id, coeff) in expr.terms_ids() {
-        match dim_ids[..point.len()].iter().position(|&d| d == id) {
-            Some(pos) => v += coeff * point[pos],
-            None if missing_zero => {}
-            None => panic!("missing value for variable {}", id.name()),
-        }
-    }
-    v
-}
-
-/// One bound candidate: `(expr, divisor)` — see [`BasicSet::bounds_of`].
-pub type BoundTerm = (LinearExpr, i64);
 
 /// An integer set `{ (d0, ..., dn) : constraints }` over *named*, ordered
 /// dimensions — the iteration-domain representation of the paper's
@@ -150,19 +128,13 @@ impl BasicSet {
             point.len(),
             self.dims.len()
         );
-        let dim_ids = self.dim_ids();
-        self.constraints.iter().all(|c| {
-            let v = eval_dense(&c.expr, &dim_ids, point, false);
-            match c.kind {
-                ConstraintKind::Eq => v == 0,
-                ConstraintKind::GeZero => v >= 0,
-            }
-        })
-    }
-
-    /// The interned ids of the dimension list, in dimension order.
-    fn dim_ids(&self) -> Vec<DimId> {
-        self.dims.iter().map(|d| DimId::intern(d)).collect()
+        let assignment: HashMap<String, i64> = self
+            .dims
+            .iter()
+            .cloned()
+            .zip(point.iter().copied())
+            .collect();
+        self.constraints.iter().all(|c| c.satisfied(&assignment))
     }
 
     /// Membership test with a named assignment.
@@ -172,25 +144,9 @@ impl BasicSet {
 
     /// Projects out the named dimensions (Fourier–Motzkin), returning a set
     /// over the remaining dimensions.
-    ///
-    /// # Panics
-    ///
-    /// Panics on `i64` coefficient overflow; use
-    /// [`BasicSet::try_project_out`] to handle [`PolyError::Overflow`].
     pub fn project_out(&self, names: &[&str]) -> BasicSet {
-        self.try_project_out(names)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Overflow-checked [`BasicSet::project_out`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PolyError::Overflow`] when a Fourier–Motzkin combination
-    /// coefficient leaves `i64` range.
-    pub fn try_project_out(&self, names: &[&str]) -> Result<BasicSet, PolyError> {
-        let cs = fm::try_eliminate_all(&self.constraints, names)?.into_constraints();
-        Ok(BasicSet {
+        let cs = fm::eliminate_all(&self.constraints, names).into_constraints();
+        BasicSet {
             dims: self
                 .dims
                 .iter()
@@ -198,7 +154,7 @@ impl BasicSet {
                 .cloned()
                 .collect(),
             constraints: cs,
-        })
+        }
     }
 
     /// Emptiness check (exact for the unit-coefficient systems POM builds;
@@ -267,7 +223,7 @@ impl BasicSet {
     /// dimensions. Each bound is `(expr, divisor)`:
     /// lower bounds mean `dim >= ceil(expr / divisor)`,
     /// upper bounds mean `dim <= floor(expr / divisor)`.
-    pub fn bounds_of(&self, dim: &str) -> (Vec<BoundTerm>, Vec<BoundTerm>) {
+    pub fn bounds_of(&self, dim: &str) -> (Vec<(LinearExpr, i64)>, Vec<(LinearExpr, i64)>) {
         let idx = self
             .dim_index(dim)
             .unwrap_or_else(|| panic!("dimension {dim} not found"));
@@ -281,16 +237,15 @@ impl BasicSet {
                 )
             }
         };
-        let dim_id = DimId::intern(dim);
         let mut lbs = Vec::new();
         let mut ubs = Vec::new();
         for c in &cs {
-            let a = c.expr.coeff_id(dim_id);
+            let a = c.expr.coeff(dim);
             if a == 0 {
                 continue;
             }
             let mut rest = c.expr.clone();
-            rest.set_coeff_id(dim_id, 0);
+            rest.set_coeff(dim, 0);
             match c.kind {
                 ConstraintKind::GeZero => {
                     if a > 0 {
@@ -348,7 +303,7 @@ impl BasicSet {
                 }
             }
         }
-        if lo.contains(&i64::MIN) || hi.contains(&i64::MAX) {
+        if lo.iter().any(|&x| x == i64::MIN) || hi.iter().any(|&x| x == i64::MAX) {
             return None;
         }
         Some(lo.into_iter().zip(hi).collect())
@@ -362,16 +317,10 @@ impl BasicSet {
     /// Panics if a dimension is unbounded or the enumeration exceeds
     /// `limit` points.
     pub fn enumerate_points(&self, limit: usize) -> Vec<Vec<i64>> {
-        // Bound candidates per level only depend on the dimension, not the
-        // prefix values, so they are computed once here instead of on
-        // every recursion node (each bounds_of is a full FM projection of
-        // the later dimensions).
-        let level_bounds: Vec<(Vec<BoundTerm>, Vec<BoundTerm>)> =
-            self.dims.iter().map(|d| self.bounds_of(d)).collect();
-        let dim_ids = self.dim_ids();
         let mut out = Vec::new();
+        let mut prefix: HashMap<String, i64> = HashMap::new();
         let mut point = Vec::new();
-        self.enumerate_rec(0, &level_bounds, &dim_ids, &mut point, &mut out, limit);
+        self.enumerate_rec(0, &mut prefix, &mut point, &mut out, limit);
         out
     }
 
@@ -383,21 +332,13 @@ impl BasicSet {
     fn enumerate_rec(
         &self,
         level: usize,
-        level_bounds: &[(Vec<BoundTerm>, Vec<BoundTerm>)],
-        dim_ids: &[DimId],
+        prefix: &mut HashMap<String, i64>,
         point: &mut Vec<i64>,
         out: &mut Vec<Vec<i64>>,
         limit: usize,
     ) {
         if level == self.dims.len() {
-            let inside = self.constraints.iter().all(|c| {
-                let v = eval_dense(&c.expr, dim_ids, point, false);
-                match c.kind {
-                    ConstraintKind::Eq => v == 0,
-                    ConstraintKind::GeZero => v >= 0,
-                }
-            });
-            if inside {
+            if self.contains_assignment(prefix) {
                 assert!(
                     out.len() < limit,
                     "point enumeration exceeded limit {limit}"
@@ -406,23 +347,25 @@ impl BasicSet {
             }
             return;
         }
-        let dim = &self.dims[level];
-        let (lbs, ubs) = &level_bounds[level];
+        let dim = self.dims[level].clone();
+        let (lbs, ubs) = self.bounds_of(&dim);
         let lb = lbs
             .iter()
-            .map(|(e, d)| ceil_div(eval_dense(e, dim_ids, point, true), *d))
+            .map(|(e, d)| ceil_div(e.eval_partial(prefix), *d))
             .max()
             .unwrap_or_else(|| panic!("dimension {dim} has no lower bound"));
         let ub = ubs
             .iter()
-            .map(|(e, d)| floor_div(eval_dense(e, dim_ids, point, true), *d))
+            .map(|(e, d)| floor_div(e.eval_partial(prefix), *d))
             .min()
             .unwrap_or_else(|| panic!("dimension {dim} has no upper bound"));
         for v in lb..=ub {
+            prefix.insert(dim.clone(), v);
             point.push(v);
-            self.enumerate_rec(level + 1, level_bounds, dim_ids, point, out, limit);
+            self.enumerate_rec(level + 1, prefix, point, out, limit);
             point.pop();
         }
+        prefix.remove(&dim);
     }
 }
 
@@ -439,152 +382,5 @@ impl fmt::Display for BasicSet {
             write!(f, "true")?;
         }
         write!(f, " }}")
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn rectangular_domain_enumeration() {
-        let s = BasicSet::from_bounds(&[("i", 0, 3), ("j", 1, 2)]);
-        let pts = s.enumerate_points(1000);
-        assert_eq!(pts.len(), 8);
-        assert_eq!(pts[0], vec![0, 1]);
-        assert_eq!(pts[7], vec![3, 2]);
-    }
-
-    #[test]
-    fn triangular_domain() {
-        // { (i, j) : 0 <= i <= 3, 0 <= j <= i }
-        let s = BasicSet::from_bounds(&[("i", 0, 3), ("j", 0, 3)])
-            .with_le(LinearExpr::var("j"), LinearExpr::var("i"));
-        assert_eq!(s.count_points(), 1 + 2 + 3 + 4);
-        assert!(s.contains(&[2, 2]));
-        assert!(!s.contains(&[2, 3]));
-    }
-
-    #[test]
-    fn projection_removes_dimension() {
-        let s = BasicSet::from_bounds(&[("i", 0, 3), ("j", 0, 5)]);
-        let p = s.project_out(&["j"]);
-        assert_eq!(p.dims(), &["i".to_string()]);
-        assert_eq!(p.count_points(), 4);
-    }
-
-    #[test]
-    fn emptiness() {
-        let s = BasicSet::from_bounds(&[("i", 5, 3)]);
-        assert!(s.is_empty());
-        let s = BasicSet::from_bounds(&[("i", 0, 3)]);
-        assert!(!s.is_empty());
-    }
-
-    #[test]
-    fn intersect_merges_dims_and_constraints() {
-        let a = BasicSet::from_bounds(&[("i", 0, 9)]);
-        let b = BasicSet::from_bounds(&[("i", 5, 20), ("j", 0, 1)]);
-        let c = a.intersect(&b);
-        assert_eq!(c.dims(), &["i".to_string(), "j".to_string()]);
-        assert_eq!(c.count_points(), 5 * 2);
-    }
-
-    #[test]
-    fn bounds_of_inner_dim_depend_on_outer() {
-        // j in [i, 7]
-        let s = BasicSet::from_bounds(&[("i", 0, 3), ("j", 0, 7)])
-            .with_ge(LinearExpr::var("j"), LinearExpr::var("i"));
-        let (lbs, ubs) = s.bounds_of("j");
-        // Max lower bound at i = 2 must be 2.
-        let prefix: HashMap<String, i64> = [("i".to_string(), 2)].into_iter().collect();
-        let lb = lbs
-            .iter()
-            .map(|(e, d)| ceil_div(e.eval_partial(&prefix), *d))
-            .max()
-            .unwrap();
-        let ub = ubs
-            .iter()
-            .map(|(e, d)| floor_div(e.eval_partial(&prefix), *d))
-            .min()
-            .unwrap();
-        assert_eq!((lb, ub), (2, 7));
-    }
-
-    #[test]
-    fn bounds_of_outer_dim_project_inner() {
-        // Skewed: t in [0,3], s in [t, t+5]. Bounds of t must be [0,3]
-        // after projecting s.
-        let s = BasicSet::from_bounds(&[("t", 0, 3)])
-            .intersect(&BasicSet::universe(&["s"]))
-            .with_ge(LinearExpr::var("s"), LinearExpr::var("t"))
-            .with_le(LinearExpr::var("s"), LinearExpr::var("t") + 5);
-        let (lbs, ubs) = s.bounds_of("t");
-        let prefix = HashMap::new();
-        let lb = lbs
-            .iter()
-            .map(|(e, d)| ceil_div(e.eval_partial(&prefix), *d))
-            .max()
-            .unwrap();
-        let ub = ubs
-            .iter()
-            .map(|(e, d)| floor_div(e.eval_partial(&prefix), *d))
-            .min()
-            .unwrap();
-        assert_eq!((lb, ub), (0, 3));
-    }
-
-    #[test]
-    fn tiled_domain_has_same_cardinality() {
-        // Tiling { i : 0 <= i <= 31 } by 8: constraints over (i0, i1).
-        let mut s = BasicSet::from_bounds(&[("i", 0, 31)]);
-        s = s.intersect(&BasicSet::universe(&["i0", "i1"]));
-        s.add_constraint(Constraint::eq(
-            LinearExpr::var("i"),
-            LinearExpr::term("i0", 8) + LinearExpr::var("i1"),
-        ));
-        s.add_constraint(Constraint::ge(
-            LinearExpr::var("i1"),
-            LinearExpr::constant_expr(0),
-        ));
-        s.add_constraint(Constraint::lt(
-            LinearExpr::var("i1"),
-            LinearExpr::constant_expr(8),
-        ));
-        let tiled = s.project_out(&["i"]);
-        assert_eq!(tiled.count_points(), 32);
-    }
-
-    #[test]
-    fn rename_and_replace_dims() {
-        let mut s = BasicSet::from_bounds(&[("i", 0, 3)]);
-        s.rename_dim("i", "t");
-        assert_eq!(s.dims(), &["t".to_string()]);
-        assert_eq!(s.count_points(), 4);
-
-        let mut s = BasicSet::from_bounds(&[("i", 0, 3), ("j", 0, 1)]);
-        s.replace_dim("i", &["i0", "i1"]);
-        assert_eq!(
-            s.dims(),
-            &["i0".to_string(), "i1".to_string(), "j".to_string()]
-        );
-    }
-
-    #[test]
-    fn reorder_dims_keeps_membership_semantics() {
-        let mut s = BasicSet::from_bounds(&[("i", 0, 2), ("j", 0, 5)]);
-        s.reorder_dims(&["j", "i"]);
-        // Point order now (j, i).
-        assert!(s.contains(&[5, 2]));
-        assert!(!s.contains(&[2, 5]));
-        assert_eq!(s.count_points(), 18);
-    }
-
-    #[test]
-    fn display_roundtrips_meaning() {
-        let s = BasicSet::from_bounds(&[("i", 0, 3)]);
-        let str = s.to_string();
-        assert!(str.contains("(i)"));
-        assert!(str.contains(">= 0"));
     }
 }

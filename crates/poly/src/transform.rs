@@ -97,21 +97,19 @@ impl StmtPoly {
     /// Rewrites an expression over the original iterators into the current
     /// iterator space.
     pub fn to_current(&self, expr: &LinearExpr) -> LinearExpr {
-        // Two-phase rename to avoid capture: orig names may coincide with
-        // current names (identity dims).
-        let mut tmp = expr.clone();
-        let placeholders: Vec<String> = self
+        // Simultaneous substitution: replacements are not themselves
+        // rewritten, so orig names that coincide with current names
+        // (identity dims) cannot be captured — this replaces the old
+        // two-phase `__orig_*` placeholder rename without the per-call
+        // string formatting.
+        let subs: Vec<(crate::DimId, &LinearExpr)> = self
             .orig_dims
             .iter()
-            .map(|d| format!("__orig_{d}"))
+            .zip(&self.orig_exprs)
+            .map(|(d, e)| (crate::DimId::intern(d), e))
             .collect();
-        for (d, p) in self.orig_dims.iter().zip(&placeholders) {
-            tmp = tmp.substituted(d, &LinearExpr::var(p));
-        }
-        for (p, e) in placeholders.iter().zip(&self.orig_exprs) {
-            tmp = tmp.substituted(p, e);
-        }
-        tmp
+        expr.try_substituted_many(&subs)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Rewrites an access function into the current iterator space.
