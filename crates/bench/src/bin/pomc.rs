@@ -4,8 +4,9 @@
 //! the requested artefact:
 //!
 //! ```text
-//! pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify] [--no-dse]
+//! pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim] [--no-dse]
 //! pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]
+//! pomc bench-sim [--size N] [--out PATH]
 //! pomc verify-all [--size N] [--sample-every K] [--out PATH]
 //! ```
 //!
@@ -25,11 +26,20 @@
 //! kernel's fast-mode DSE exceeds `--ceiling` seconds or diverges from
 //! the serial search.
 //!
+//! `--emit sim` runs the cycle-approximate simulator (`pom-sim`) over
+//! the compiled design and prints the measured cycle report next to the
+//! analytical estimate. `bench-sim` runs the differential audit over
+//! the whole 14-kernel suite (seed + DSE schedules): simulator memory
+//! must match the affine interpreter bit for bit on every kernel, the
+//! analytical latency must stay within ±15% of the simulated cycles on
+//! the Table III kernels, and the measurements are written to
+//! `BENCH_sim.json`.
+//!
 //! Kernels: gemm, bicg, gesummv, 2mm, 3mm, jacobi1d, jacobi2d, heat1d,
 //! seidel, edge_detect, gaussian, blur, vgg16, resnet18.
 
-use pom::{auto_dse, baselines, CompileOptions, Function, Pom};
-use pom_bench::experiments::{bench_dse, bench_poly, verify_suite};
+use pom::{auto_dse, baselines, CompileOptions, Function, MemoryState, Pom};
+use pom_bench::experiments::{bench_dse, bench_poly, bench_sim, verify_suite};
 
 fn kernel_by_name(name: &str, size: usize) -> Option<Function> {
     use pom_bench::kernels as k;
@@ -52,7 +62,12 @@ fn kernel_by_name(name: &str, size: usize) -> Option<Function> {
     })
 }
 
-const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify] [--no-dse]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]\n       pomc bench-poly [--iters N] [--out PATH] [--baseline PATH]\n       pomc verify-all [--size N] [--sample-every K] [--out PATH]";
+/// The artefacts `--emit` can produce, validated before any compilation.
+const EMIT_MODES: &[&str] = &[
+    "dsl", "graph", "ir", "c", "tb", "report", "schedule", "lint", "verify", "sim",
+];
+
+const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim] [--no-dse]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]\n       pomc bench-poly [--iters N] [--out PATH] [--baseline PATH]\n       pomc bench-sim [--size N] [--out PATH]\n       pomc verify-all [--size N] [--sample-every K] [--out PATH]";
 
 fn bench_poly_main(args: &[String]) -> ! {
     let mut iters = 200usize;
@@ -232,6 +247,49 @@ fn bench_dse_main(args: &[String]) -> ! {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
+fn bench_sim_main(args: &[String]) -> ! {
+    let mut size = 32usize;
+    let mut out = "BENCH_sim.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size" => {
+                size = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--size expects a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = bench_sim::run_suite(size);
+    print!("{}", bench_sim::render(&report));
+    if let Err(e) = std::fs::write(&out, bench_sim::to_json(&report)) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+    let fails = bench_sim::gate(&report);
+    for f in &fails {
+        eprintln!("FAIL: {f}");
+    }
+    std::process::exit(if fails.is_empty() { 0 } else { 1 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(kernel) = args.first().filter(|a| !a.starts_with("--")) else {
@@ -243,6 +301,9 @@ fn main() {
     }
     if kernel == "bench-poly" {
         bench_poly_main(&args[1..]);
+    }
+    if kernel == "bench-sim" {
+        bench_sim_main(&args[1..]);
     }
     if kernel == "verify-all" {
         verify_all_main(&args[1..]);
@@ -264,7 +325,10 @@ fn main() {
                 i += 2;
             }
             "--emit" => {
-                emit = args.get(i + 1).cloned().unwrap_or_default();
+                emit = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--emit expects a mode: {}", EMIT_MODES.join("|"));
+                    std::process::exit(2);
+                });
                 i += 2;
             }
             "--no-dse" => {
@@ -276,6 +340,16 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    // Validate the emit mode *before* compiling anything: a typo should
+    // fail fast, not after a full DSE run.
+    if !EMIT_MODES.contains(&emit.as_str()) {
+        eprintln!(
+            "unknown --emit {emit}; valid modes: {}\n{USAGE}",
+            EMIT_MODES.join(", ")
+        );
+        std::process::exit(2);
     }
 
     let Some(f) = kernel_by_name(kernel, size) else {
@@ -341,6 +415,18 @@ fn main() {
                     r.stats.estimation_time.as_secs_f64()
                 );
                 println!("DSE poly kernel: {}", r.stats.poly);
+                if r.stats.sim_reranked > 0 {
+                    println!(
+                        "DSE sim re-rank: {} finalist(s) measured, winner {} cycle(s) \
+                         (dep {}, port {}, drain {}) in {:.3} s",
+                        r.stats.sim_reranked,
+                        r.stats.sim_cycles,
+                        r.stats.sim_stall_dep,
+                        r.stats.sim_stall_port,
+                        r.stats.sim_stall_drain,
+                        r.stats.sim_time.as_secs_f64()
+                    );
+                }
             }
             if report.has_errors() {
                 std::process::exit(1);
@@ -363,9 +449,44 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        other => {
-            eprintln!("unknown --emit {other}\n{USAGE}");
-            std::process::exit(2);
+        "sim" => {
+            let compiled = driver.compile(&scheduled);
+            let mut interp_mem = MemoryState::for_function_seeded(&scheduled, 42);
+            pom::execute_func(&compiled.affine, &mut interp_mem);
+            let mut sim_mem = MemoryState::for_function_seeded(&scheduled, 42);
+            let report = pom::simulate(
+                &compiled.affine,
+                &compiled.deps,
+                &mut sim_mem,
+                &driver.options.model,
+            );
+            print!("{}", report.render());
+            println!(
+                "estimated cycles: {} ({:.3}x the simulated {})",
+                compiled.qor.latency,
+                compiled.qor.latency as f64 / report.cycles.max(1) as f64,
+                report.cycles
+            );
+            println!(
+                "memory vs interpreter: {}",
+                if sim_mem == interp_mem {
+                    "bit-identical"
+                } else {
+                    "DIVERGED"
+                }
+            );
+            if let Some(r) = &dse {
+                if r.stats.sim_reranked > 0 {
+                    println!(
+                        "DSE sim re-rank: {} finalist(s) measured, winner {} cycle(s)",
+                        r.stats.sim_reranked, r.stats.sim_cycles
+                    );
+                }
+            }
+            if sim_mem != interp_mem {
+                std::process::exit(1);
+            }
         }
+        other => unreachable!("--emit {other} was validated against EMIT_MODES"),
     }
 }

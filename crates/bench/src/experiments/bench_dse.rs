@@ -90,7 +90,7 @@ pub fn results_identical(a: &DseResult, b: &DseResult) -> bool {
 
 /// Dispatches `jobs` across up to `workers` scoped threads, returning
 /// results in job order.
-fn pool_run<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+pub(crate) fn pool_run<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     if workers <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }

@@ -42,6 +42,7 @@
 //! | Polyhedral IR | [`pom_poly`] | integer sets/maps, transformations, AST build |
 //! | Affine dialect + HLS attrs | [`pom_ir`] | loops/ops with pragma attributes |
 //! | HLS backend | [`pom_hls`] | HLS C emission + QoR estimation |
+//! | Simulator | [`pom_sim`] | cycle-approximate schedule simulation |
 //! | DSE engine | [`pom_dse`] | two-stage automatic scheduling + baselines |
 //! | Validation | [`pom_verify`] | translation validation + dataflow analyses |
 
@@ -52,6 +53,7 @@ pub use pom_hls as hls;
 pub use pom_ir as ir;
 pub use pom_lint as lint;
 pub use pom_poly as poly;
+pub use pom_sim as sim;
 pub use pom_verify as verify;
 
 pub use pom_dse::{
@@ -68,6 +70,7 @@ pub use pom_hls::{
 };
 pub use pom_ir::{execute_func, AffineFunc, PassManager};
 pub use pom_lint::{Diagnostic, LintCode, LintReport, Linter, Severity};
+pub use pom_sim::{simulate, LoopSim, SimReport};
 pub use pom_verify::{analyze_ranges, narrowing_hints, validate, ValidationReport};
 
 /// The end-to-end POM driver: analysis, scheduling (user-specified or
@@ -143,6 +146,22 @@ impl Pom {
     /// and the report carries a rustc-style rendering of any rejection.
     pub fn verify(&self, f: &Function) -> ValidationReport {
         pom_verify::validate(f)
+    }
+
+    /// Compiles the function with its recorded schedule and simulates it
+    /// cycle-approximately on deterministic seeded memory, returning the
+    /// measurement alongside the final memory state (which matches the
+    /// affine interpreter's bit for bit).
+    pub fn simulate(&self, f: &Function, seed: u64) -> (SimReport, MemoryState) {
+        let compiled = self.compile(f);
+        let mut mem = MemoryState::for_function_seeded(f, seed);
+        let report = pom_sim::simulate(
+            &compiled.affine,
+            &compiled.deps,
+            &mut mem,
+            &self.options.model,
+        );
+        (report, mem)
     }
 
     /// Generates a Vitis-style synthesis report for the compiled design.

@@ -57,6 +57,22 @@ pub struct DseStats {
     /// Fixpoint iterations of the dataflow value-range analysis over the
     /// winning design.
     pub dataflow_iterations: usize,
+    /// Finalist schedules re-ranked by simulated cycles
+    /// ([`DseConfig::sim_rerank_top_k`]; 0 when re-ranking was off).
+    pub sim_reranked: usize,
+    /// Simulated cycle count of the returned schedule (0 unless
+    /// re-ranking ran).
+    pub sim_cycles: u64,
+    /// Simulated dependence-stall cycles of the returned schedule.
+    pub sim_stall_dep: u64,
+    /// Simulated port-contention stall cycles of the returned schedule.
+    pub sim_stall_port: u64,
+    /// Simulated pipeline-drain cycles of the returned schedule.
+    pub sim_stall_drain: u64,
+    /// Memory accesses whose simulated port grant slid past the request.
+    pub sim_port_conflicts: u64,
+    /// Wall time spent inside the simulator during re-ranking.
+    pub sim_time: Duration,
     /// Polyhedral-kernel counters (FM eliminations, fan-out combinations,
     /// projection-memo hits) accumulated across the whole search.
     pub poly: pom_poly::PolyStats,
@@ -72,6 +88,11 @@ pub struct Stage2Result {
     pub groups: Vec<GroupConfig>,
     /// Search counters (lint-pruned candidates etc.).
     pub stats: DseStats,
+    /// The last accepted group configurations of the greedy descent, most
+    /// recent last. Only recorded when [`DseConfig::sim_rerank_top_k`] is
+    /// positive (capped at that many snapshots); the final configuration
+    /// in `groups` is *not* duplicated here unless an accept produced it.
+    pub finalists: Vec<Vec<GroupConfig>>,
 }
 
 /// The tiling/unrolling configuration of one node (fusion group).
@@ -130,6 +151,12 @@ pub struct DseConfig {
     /// [`CompileError::Rejected`] — it means a transformation primitive
     /// produced an illegal schedule the legality screen missed.
     pub validate_sample_every: usize,
+    /// Re-rank the last `k` accepted schedules of the greedy descent by
+    /// *simulated* cycles (pom-sim) and return the fastest. `0` (the
+    /// default) trusts the analytical estimate alone. Ties keep the
+    /// estimator's winner, so enabling this never degrades the result
+    /// under the simulator's own metric.
+    pub sim_rerank_top_k: usize,
 }
 
 impl Default for DseConfig {
@@ -143,6 +170,7 @@ impl Default for DseConfig {
             workers: 0,
             validate_winner: true,
             validate_sample_every: 0,
+            sim_rerank_top_k: 0,
         }
     }
 }
@@ -831,6 +859,7 @@ pub(crate) fn bottleneck_optimize_impl(
     let workers = cfg.effective_workers();
     let mut dse_stats = DseStats::default();
     let mut groups = plan_groups(stage1_fn);
+    let mut finalists: Vec<Vec<GroupConfig>> = Vec::new();
 
     // Initial per-group stats, evaluated concurrently when allowed.
     let initial = run_indexed(groups.len(), workers, |i| match cache {
@@ -992,6 +1021,16 @@ pub(crate) fn bottleneck_optimize_impl(
             Some((l2, r2, i)) => {
                 groups[bottleneck] = cands[i].clone();
                 stats[bottleneck] = (l2, r2);
+                if cfg.sim_rerank_top_k > 0 {
+                    // Keep the trailing K accepted configurations: the
+                    // greedy descent improves monotonically under the
+                    // estimator, so the most recent accepts are the ones
+                    // worth measuring.
+                    if finalists.len() == cfg.sim_rerank_top_k {
+                        finalists.remove(0);
+                    }
+                    finalists.push(groups.clone());
+                }
             }
             None => {
                 active.remove(&bottleneck);
@@ -1051,6 +1090,7 @@ pub(crate) fn bottleneck_optimize_impl(
         function: schedule_for(stage1_fn, &groups),
         groups,
         stats: dse_stats,
+        finalists,
     })
 }
 

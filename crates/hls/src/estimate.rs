@@ -235,6 +235,28 @@ impl Estimator<'_> {
         (lb, ub.max(lb))
     }
 
+    /// The trip count used for costing, next to the (clamped)
+    /// representative range. A loop with **constant** bounds gets its
+    /// exact trip — possibly 0, in which case it contributes no latency.
+    /// Symbolic bounds are evaluated under representative outer-iv values
+    /// (nest midpoints), which can spuriously look empty at tile edges,
+    /// so those keep the historical clamp to at least 1.
+    fn loop_trip(&self, l: &ForOp, env: &HashMap<String, i64>) -> (i64, i64, u64) {
+        let (lb, ub) = self.loop_range(l, env);
+        let constant = l.lbs.iter().all(|b| b.expr.is_constant())
+            && l.ubs.iter().all(|b| b.expr.is_constant());
+        let raw = l
+            .ubs
+            .iter()
+            .map(|b| b.eval_upper(env))
+            .min()
+            .unwrap_or(lb)
+            .saturating_sub(lb)
+            .saturating_add(1);
+        let trip = if constant { raw.max(0) } else { raw.max(1) } as u64;
+        (lb, ub, trip)
+    }
+
     /// Loop flattening (Vitis `loop_flatten`): a perfect nest of plain
     /// loops ending in a pipelined loop flushes once per *outer* entry,
     /// not once per tile — model it by multiplying the pipelined trip.
@@ -246,8 +268,7 @@ impl Estimator<'_> {
         env: &mut HashMap<String, i64>,
     ) -> Option<(u64, u64, u64, ResourceUsage)> {
         // Returns (ii, depth, flattened_trip, resources).
-        let (lb, ub) = self.loop_range(l, env);
-        let trip = (ub - lb + 1).max(1) as u64;
+        let (lb, ub, trip) = self.loop_trip(l, env);
         if l.attrs.pipeline_ii.is_some() {
             env.insert(l.iv.clone(), (lb + ub) / 2);
             let (ii, depth, res) = self.pipelined_parts(l, env);
@@ -273,10 +294,14 @@ impl Estimator<'_> {
         env: &mut HashMap<String, i64>,
     ) -> (u64, ResourceUsage) {
         if let Some((ii, depth, trip, res)) = self.try_flatten(l, env) {
-            return ((trip - 1) * ii + depth, res);
+            return (pipeline_latency(trip, ii, depth), res);
         }
-        let (lb, ub) = self.loop_range(l, env);
-        let trip = (ub - lb + 1).max(1) as u64;
+        let (lb, ub, trip) = self.loop_trip(l, env);
+        if trip == 0 {
+            // A constant-bounds empty loop runs zero iterations: no
+            // latency, no datapath — only its control logic exists.
+            return (0, self.model.loop_control);
+        }
         env.insert(l.iv.clone(), (lb + ub) / 2);
         let (body_lat, body_res) = self.seq(&l.body, env);
         env.remove(&l.iv);
@@ -297,12 +322,11 @@ impl Estimator<'_> {
     }
 
     fn pipelined(&mut self, l: &ForOp, env: &mut HashMap<String, i64>) -> (u64, ResourceUsage) {
-        let (lb, ub) = self.loop_range(l, env);
-        let trip = (ub - lb + 1).max(1) as u64;
+        let (lb, ub, trip) = self.loop_trip(l, env);
         env.insert(l.iv.clone(), (lb + ub) / 2);
         let (ii, depth, res) = self.pipelined_parts(l, env);
         env.remove(&l.iv);
-        ((trip - 1) * ii + depth, res)
+        (pipeline_latency(trip, ii, depth), res)
     }
 
     /// The II, depth, and resources of a pipelined loop body (`env` must
@@ -312,8 +336,7 @@ impl Estimator<'_> {
         l: &ForOp,
         env: &mut HashMap<String, i64>,
     ) -> (u64, u64, ResourceUsage) {
-        let (lb, ub) = self.loop_range(l, env);
-        let trip = (ub - lb + 1).max(1) as u64;
+        let (_, _, trip) = self.loop_trip(l, env);
 
         let mut body = PipeBody::default();
         self.collect_pipe_body(&l.body, 1, env, &mut body);
@@ -409,8 +432,12 @@ impl Estimator<'_> {
                 }
                 AffineOp::If(i) => self.collect_pipe_body(&i.body, mult, env, out),
                 AffineOp::For(l) => {
-                    let (lb, ub) = self.loop_range(l, env);
-                    let trip = (ub - lb + 1).max(1) as u64;
+                    let (lb, ub, trip) = self.loop_trip(l, env);
+                    if trip == 0 {
+                        // Constant-bounds empty loop: no unrolled copies,
+                        // no accesses, no reduction chain.
+                        continue;
+                    }
                     if let Some(dep) = self.deps.carried_at(&l.iv) {
                         // The unrolled copies along this loop form a
                         // balanced reduction tree plus one accumulate:
@@ -431,6 +458,18 @@ impl Estimator<'_> {
                 }
             }
         }
+    }
+}
+
+/// `(trip - 1) * II + depth`, hardened for degenerate trips: an empty
+/// pipeline (trip 0, possible once constant-bounds loops report exact
+/// trips) costs nothing, and trip 1 pays the depth alone — `depth > trip`
+/// is fine because the fill/drain cost is depth-, not trip-, shaped.
+fn pipeline_latency(trip: u64, ii: u64, depth: u64) -> u64 {
+    if trip == 0 {
+        0
+    } else {
+        (trip - 1) * ii + depth
     }
 }
 
@@ -725,6 +764,138 @@ mod tests {
             q2.latency,
             q.latency
         );
+    }
+
+    #[test]
+    fn empty_constant_loops_cost_nothing() {
+        // Trip 0 with constant bounds: zero latency, sequential or
+        // pipelined, alone or heading a flattenable nest.
+        let m = CostModel::vitis_f32();
+        for pipeline in [false, true] {
+            let f = accumulate_loop(0, pipeline);
+            let q = estimate(&f, &DepSummary::new(), &m, Sharing::Reuse);
+            assert_eq!(q.latency, 0, "pipeline={pipeline}");
+        }
+        // An empty outer loop over a pipelined inner: the flattened trip
+        // is 0 * inner, and the whole nest must cost 0 (this used to
+        // underflow `(trip - 1) * ii` before trips could be 0).
+        let mut f = AffineFunc::new("f");
+        f.memrefs.push(MemRefDecl::new("x", &[16], DataType::F32));
+        let store = StoreOp {
+            stmt: "S".into(),
+            dest: AccessFn::new("x", vec![LinearExpr::var("j")]),
+            value: pom_dsl::Expr::Load(AccessFn::new("x", vec![LinearExpr::var("j")])) * 2.0,
+        };
+        let inner = ForOp {
+            extra: Vec::new(),
+            iv: "j".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(15)],
+            attrs: HlsAttrs {
+                pipeline_ii: Some(1),
+                ..Default::default()
+            },
+            body: vec![AffineOp::Store(store)],
+        };
+        let outer = ForOp {
+            extra: Vec::new(),
+            iv: "i".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(-1)],
+            attrs: HlsAttrs::none(),
+            body: vec![AffineOp::For(inner)],
+        };
+        f.body.push(AffineOp::For(outer));
+        let q = estimate(&f, &DepSummary::new(), &m, Sharing::Reuse);
+        assert_eq!(q.latency, 0);
+    }
+
+    #[test]
+    fn empty_unrolled_inner_loop_contributes_nothing() {
+        // A constant-empty loop inside a pipelined body must add no
+        // copies, no port pressure, and no reduction chain.
+        let m = CostModel::vitis_f32();
+        let mut f = AffineFunc::new("f");
+        f.memrefs.push(MemRefDecl::new("x", &[64], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("y", &[64], DataType::F32));
+        let store = StoreOp {
+            stmt: "S".into(),
+            dest: AccessFn::new("y", vec![LinearExpr::var("j")]),
+            value: pom_dsl::Expr::Load(AccessFn::new("x", vec![LinearExpr::var("j")])) * 2.0,
+        };
+        let empty = ForOp {
+            extra: Vec::new(),
+            iv: "j".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(-1)],
+            attrs: HlsAttrs::none(),
+            body: vec![AffineOp::Store(store)],
+        };
+        let outer = ForOp {
+            extra: Vec::new(),
+            iv: "i".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(31)],
+            attrs: HlsAttrs {
+                pipeline_ii: Some(1),
+                ..Default::default()
+            },
+            body: vec![AffineOp::For(empty)],
+        };
+        f.body.push(AffineOp::For(outer));
+        let q = estimate(&f, &DepSummary::new(), &m, Sharing::Reuse);
+        assert_eq!(q.loops[0].achieved_ii, 1, "no accesses -> no ResMII");
+        assert_eq!(q.loops[0].unrolled_copies, 0);
+        assert_eq!(q.resources.dsp, 0, "no operator instances");
+    }
+
+    #[test]
+    fn trip_one_pipeline_pays_depth_only() {
+        // depth > trip: a single iteration costs exactly the pipeline
+        // depth, with no issue-interval term.
+        let m = CostModel::vitis_f32();
+        let f = accumulate_loop(1, true);
+        let q = estimate(&f, &DepSummary::new(), &m, Sharing::Reuse);
+        assert_eq!(q.loops.len(), 1);
+        assert_eq!(q.loops[0].trip, 1);
+        assert_eq!(q.latency, q.loops[0].depth);
+        assert!(q.loops[0].depth > 1, "depth exceeds the trip count");
+    }
+
+    #[test]
+    fn symbolic_empty_bounds_keep_the_representative_clamp() {
+        // Inner bounds depending on an outer iv evaluate under a
+        // representative midpoint and can *look* empty at tile edges;
+        // those keep trip >= 1 so tiled suite QoR is unchanged.
+        let m = CostModel::vitis_f32();
+        let mut f = AffineFunc::new("f");
+        f.memrefs.push(MemRefDecl::new("x", &[64], DataType::F32));
+        let store = StoreOp {
+            stmt: "S".into(),
+            dest: AccessFn::new("x", vec![LinearExpr::var("j")]),
+            value: pom_dsl::Expr::Load(AccessFn::new("x", vec![LinearExpr::var("j")])) * 2.0,
+        };
+        // j in [i, 1]: at the representative i = (0+63)/2 this is empty,
+        // but it does run for real i in {0, 1}.
+        let inner = ForOp {
+            extra: Vec::new(),
+            iv: "j".into(),
+            lbs: vec![Bound::new(LinearExpr::var("i"), 1)],
+            ubs: vec![cb(1)],
+            attrs: HlsAttrs::none(),
+            body: vec![AffineOp::Store(store)],
+        };
+        let outer = ForOp {
+            extra: Vec::new(),
+            iv: "i".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(63)],
+            attrs: HlsAttrs::none(),
+            body: vec![AffineOp::For(inner)],
+        };
+        f.body.push(AffineOp::For(outer));
+        let q = estimate(&f, &DepSummary::new(), &m, Sharing::Reuse);
+        assert!(q.latency > 0, "symbolic bounds must not zero out the nest");
     }
 
     #[test]

@@ -19,7 +19,11 @@
 
 // Frozen snapshot: stylistic lints stay silenced rather than editing the
 // preserved code out from under the differential suite.
-#![allow(clippy::needless_range_loop, clippy::type_complexity, clippy::manual_contains)]
+#![allow(
+    clippy::needless_range_loop,
+    clippy::type_complexity,
+    clippy::manual_contains
+)]
 
 pub mod constraint;
 pub mod dependence;

@@ -1,0 +1,647 @@
+//! The cycle-approximate simulation engine.
+//!
+//! Executes an annotated [`AffineFunc`] with the *exact* sequential
+//! semantics of `ir::interp::execute_func` (so the final memory state is
+//! bit-identical), while overlaying a timing model of the generated
+//! hardware:
+//!
+//! * A pipelined loop issues one iteration every `pipeline_ii` cycles,
+//!   *unless* a loop-carried dependence has not produced its value yet
+//!   (dependence stall, at the dependence's actual distance — not just
+//!   RecMII) or the memory banks feeding the iteration have no free port
+//!   (port stall).
+//! * Per-array banking follows the `hls.array_partition` attribute:
+//!   cyclic (`i % f`), block (`i / ceil(N/f)`), or complete (modeled as
+//!   cyclic with the same factor), combined mixed-radix across
+//!   dimensions. Each bank grants `ports_per_bank` accesses per cycle.
+//! * Loops inside a pipelined loop are fully unrolled: all their
+//!   iterations belong to one pipeline iteration, serialized only through
+//!   value forwarding (`ready` times) and port capacity.
+//! * Perfect nests of attribute-free, dependence-free loops ending in a
+//!   pipelined loop flatten into a single pipeline region (one flush),
+//!   mirroring `hls::estimate::try_flatten` — including its refusal to
+//!   flatten across unrolled or dependence-carrying levels.
+//! * Sequential loops execute iteration chunks of `unroll_factor` copies
+//!   in parallel (start together, finish at the max), each iteration
+//!   paying `loop_overhead` control cycles; carried dependences serialize
+//!   naturally through `ready` times.
+//!
+//! Forwarded values (written earlier in the same pipeline iteration, or
+//! available in registers) bypass the memory: they cost no port and no
+//! load latency beyond the producer's finish time.
+
+use crate::report::{LoopSim, SimReport};
+use pom_dsl::interp::eval_expr;
+use pom_dsl::{Expr, MemoryState, PartitionStyle};
+use pom_hls::{CostModel, DepSummary};
+use pom_ir::{AffineFunc, AffineOp, ForOp, StoreOp};
+use pom_poly::AccessFn;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Simulates `func`, mutating `mem` exactly as `ir::interp::execute_func`
+/// would, and returns the measured timing.
+///
+/// `deps` must be the same dependence summary the estimator sees: it
+/// gates loop flattening the same way `hls::estimate` does, so simulated
+/// and estimated control structure agree.
+///
+/// # Panics
+///
+/// Panics on out-of-bounds accesses or references to missing arrays —
+/// the same conditions under which the IR interpreter panics.
+pub fn simulate(
+    func: &AffineFunc,
+    deps: &DepSummary,
+    mem: &mut MemoryState,
+    model: &CostModel,
+) -> SimReport {
+    let t0 = Instant::now();
+    let mut sim = Sim::new(func, deps, model);
+    let cycles = sim.exec_seq(&func.body, 0, mem);
+    let mut report = sim.into_report(cycles);
+    report.sim_time = t0.elapsed();
+    report
+}
+
+/// `(array id, flat element index)` — the unit of dependence tracking.
+type Elem = (usize, usize);
+
+/// Bank mapping of one array dimension.
+struct BankDim {
+    factor: i64,
+    /// Elements per bank along this dimension (block style).
+    chunk: i64,
+    cyclic: bool,
+}
+
+struct ArrayInfo {
+    shape: Vec<usize>,
+    bank_dims: Vec<BankDim>,
+}
+
+/// One store instance collected from a pipeline iteration.
+struct Inst<'a> {
+    store: &'a StoreOp,
+    loads: Vec<Elem>,
+    dest: Elem,
+}
+
+/// Port occupancy of one (array, bank) pair within a pipeline region.
+struct Calendar {
+    base: u64,
+    used: Vec<u8>,
+}
+
+impl Calendar {
+    /// Reserves the earliest port slot at or after `at`; returns its cycle.
+    fn reserve(&mut self, at: u64, ports: u64) -> u64 {
+        let mut i = at.saturating_sub(self.base) as usize;
+        loop {
+            if i >= self.used.len() {
+                self.used.resize(i + 1, 0);
+            }
+            if u64::from(self.used[i]) < ports {
+                self.used[i] += 1;
+                return self.base + i as u64;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Mutable state of one pipeline region (a pipelined loop plus any outer
+/// loops flattened into it): issue bookkeeping, port calendars, and
+/// per-iteration scratch buffers.
+struct Region<'a> {
+    start: u64,
+    target_ii: u64,
+    iters: u64,
+    first_issue: u64,
+    last_issue: u64,
+    last_finish: u64,
+    stall_dep: u64,
+    stall_port: u64,
+    calendars: HashMap<(usize, u32), Calendar>,
+    insts: Vec<Inst<'a>>,
+    // Scratch, reused across iterations.
+    mem_reads: Vec<Elem>,
+    seen_reads: HashSet<Elem>,
+    written: HashSet<Elem>,
+    read_grant: HashMap<Elem, u64>,
+    last_writer: HashMap<Elem, usize>,
+    results: Vec<u64>,
+}
+
+impl<'a> Region<'a> {
+    fn new(start: u64, target_ii: u64) -> Self {
+        Region {
+            start,
+            target_ii,
+            iters: 0,
+            first_issue: start,
+            last_issue: start,
+            last_finish: start,
+            stall_dep: 0,
+            stall_port: 0,
+            calendars: HashMap::new(),
+            insts: Vec::new(),
+            mem_reads: Vec::new(),
+            seen_reads: HashSet::new(),
+            written: HashSet::new(),
+            read_grant: HashMap::new(),
+            last_writer: HashMap::new(),
+            results: Vec::new(),
+        }
+    }
+
+    fn grant(&mut self, key: (usize, u32), at: u64, ports: u64) -> u64 {
+        let start = self.start;
+        let cal = self.calendars.entry(key).or_insert_with(|| Calendar {
+            base: start,
+            used: Vec::new(),
+        });
+        cal.reserve(at, ports)
+    }
+}
+
+struct Sim<'a> {
+    deps: &'a DepSummary,
+    model: &'a CostModel,
+    /// Array name → dense id into `info`/`ready`.
+    ids: HashMap<&'a str, usize>,
+    info: Vec<ArrayInfo>,
+    /// Per element: the cycle its current value becomes forwardable.
+    ready: Vec<Vec<u64>>,
+    env: HashMap<String, i64>,
+    stall_dep: u64,
+    stall_port: u64,
+    stall_drain: u64,
+    pipeline_iterations: u64,
+    port_conflicts: u64,
+    loop_order: Vec<String>,
+    loops: HashMap<String, LoopSim>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(func: &'a AffineFunc, deps: &'a DepSummary, model: &'a CostModel) -> Self {
+        let mut ids = HashMap::new();
+        let mut info = Vec::new();
+        let mut ready = Vec::new();
+        for m in &func.memrefs {
+            ids.insert(m.name.as_str(), info.len());
+            let bank_dims = match &m.partition {
+                Some(p) => p
+                    .factors
+                    .iter()
+                    .zip(&m.shape)
+                    .map(|(&f, &n)| {
+                        let f = f.max(1).min(n.max(1) as i64);
+                        BankDim {
+                            factor: f,
+                            chunk: ((n as i64 + f - 1) / f).max(1),
+                            cyclic: !matches!(p.style, PartitionStyle::Block),
+                        }
+                    })
+                    .collect(),
+                None => m
+                    .shape
+                    .iter()
+                    .map(|_| BankDim {
+                        factor: 1,
+                        chunk: 1,
+                        cyclic: true,
+                    })
+                    .collect(),
+            };
+            ready.push(vec![0u64; m.shape.iter().product::<usize>()]);
+            info.push(ArrayInfo {
+                shape: m.shape.clone(),
+                bank_dims,
+            });
+        }
+        Sim {
+            deps,
+            model,
+            ids,
+            info,
+            ready,
+            env: HashMap::new(),
+            stall_dep: 0,
+            stall_port: 0,
+            stall_drain: 0,
+            pipeline_iterations: 0,
+            port_conflicts: 0,
+            loop_order: Vec::new(),
+            loops: HashMap::new(),
+        }
+    }
+
+    fn into_report(self, cycles: u64) -> SimReport {
+        let mut loops = self.loops;
+        SimReport {
+            cycles,
+            stall_dep: self.stall_dep,
+            stall_port: self.stall_port,
+            stall_drain: self.stall_drain,
+            pipeline_iterations: self.pipeline_iterations,
+            port_conflicts: self.port_conflicts,
+            loops: self
+                .loop_order
+                .iter()
+                .filter_map(|iv| loops.remove(iv))
+                .collect(),
+            sim_time: Default::default(),
+        }
+    }
+
+    /// Loop bounds under the current environment — identical to
+    /// `ir::interp` (max of lower bounds, min of upper bounds, inclusive).
+    fn bounds(&self, l: &ForOp) -> (i64, i64) {
+        let lb = l
+            .lbs
+            .iter()
+            .map(|b| b.eval_lower(&self.env))
+            .max()
+            .expect("loop without lower bound");
+        let ub = l
+            .ubs
+            .iter()
+            .map(|b| b.eval_upper(&self.env))
+            .min()
+            .expect("loop without upper bound");
+        (lb, ub)
+    }
+
+    /// Resolves an access to its element under the current environment.
+    fn elem_of(&self, a: &AccessFn) -> Elem {
+        let aid = *self
+            .ids
+            .get(a.array.as_str())
+            .unwrap_or_else(|| panic!("unknown array {}", a.array));
+        let info = &self.info[aid];
+        assert_eq!(a.indices.len(), info.shape.len(), "index rank mismatch");
+        let mut flat = 0usize;
+        for (d, (e, &n)) in a.indices.iter().zip(&info.shape).enumerate() {
+            let i = e.eval_partial(&self.env);
+            assert!(
+                i >= 0 && (i as usize) < n,
+                "index {i} out of bounds for dim {d} (size {n})"
+            );
+            flat = flat * n + i as usize;
+        }
+        (aid, flat)
+    }
+
+    /// The bank an element lives in (mixed-radix across dimensions).
+    fn bank_of(&self, e: Elem) -> u32 {
+        let info = &self.info[e.0];
+        let mut rem = e.1;
+        let mut bank = 0u64;
+        // Decompose the flat index back into per-dimension coordinates
+        // (row-major, so peel from the innermost dimension), accumulating
+        // the mixed-radix bank number front-to-back afterwards.
+        let mut coords = [0i64; 8];
+        assert!(info.shape.len() <= 8, "arrays of rank > 8 are not banked");
+        for d in (0..info.shape.len()).rev() {
+            let n = info.shape[d].max(1);
+            coords[d] = (rem % n) as i64;
+            rem /= n;
+        }
+        for (d, bd) in info.bank_dims.iter().enumerate() {
+            let b = if bd.factor <= 1 {
+                0
+            } else if bd.cyclic {
+                coords[d] % bd.factor
+            } else {
+                (coords[d] / bd.chunk).min(bd.factor - 1)
+            };
+            bank = bank * bd.factor as u64 + b as u64;
+        }
+        bank as u32
+    }
+
+    // ------------------------------------------------------------------
+    // Sequential execution
+    // ------------------------------------------------------------------
+
+    /// Executes ops in sequence starting at cycle `t`; returns the finish
+    /// cycle.
+    fn exec_seq(&mut self, ops: &'a [AffineOp], t: u64, mem: &mut MemoryState) -> u64 {
+        let mut t = t;
+        for op in ops {
+            t = match op {
+                AffineOp::For(l) => {
+                    if let Some((outers, pipe)) = self.flatten_chain(l) {
+                        self.exec_pipeline(&outers, pipe, t, mem)
+                    } else {
+                        self.exec_seq_loop(l, t, mem)
+                    }
+                }
+                AffineOp::If(i) => {
+                    if i.conds.iter().all(|c| c.satisfied(&self.env)) {
+                        self.exec_seq(&i.body, t, mem)
+                    } else {
+                        t
+                    }
+                }
+                AffineOp::Store(s) => self.exec_store_seq(s, t, mem),
+            };
+        }
+        t
+    }
+
+    /// Mirrors `hls::estimate::try_flatten`: the chain of perfect,
+    /// attribute-free, dependence-free loops down to a pipelined loop.
+    /// `Some((outers, pipe))` when `l` heads a flattenable nest (possibly
+    /// with zero outers, i.e. `l` is itself pipelined).
+    fn flatten_chain(&self, l: &'a ForOp) -> Option<(Vec<&'a ForOp>, &'a ForOp)> {
+        if l.attrs.pipeline_ii.is_some() {
+            return Some((Vec::new(), l));
+        }
+        if l.attrs.unroll_factor.is_some() || self.deps.carried_at(&l.iv).is_some() {
+            return None;
+        }
+        let [AffineOp::For(inner)] = &l.body[..] else {
+            return None;
+        };
+        let (mut outers, pipe) = self.flatten_chain(inner)?;
+        outers.insert(0, l);
+        Some((outers, pipe))
+    }
+
+    fn exec_seq_loop(&mut self, l: &'a ForOp, t: u64, mem: &mut MemoryState) -> u64 {
+        let (lb, ub) = self.bounds(l);
+        if ub < lb {
+            return t;
+        }
+        let u = l.attrs.unroll_factor.unwrap_or(1).max(1);
+        let mut t = t;
+        let mut v = lb;
+        while v <= ub {
+            // One chunk of `u` unrolled copies: all start together, the
+            // chunk finishes when the slowest copy does. Copies coupled by
+            // a carried dependence serialize through `ready` times.
+            let chunk_end = v.saturating_add(u - 1).min(ub);
+            let start = t;
+            let mut finish = start;
+            while v <= chunk_end {
+                self.env.insert(l.iv.clone(), v);
+                finish = finish.max(self.exec_seq(&l.body, start, mem));
+                v += 1;
+            }
+            t = finish + self.model.loop_overhead;
+        }
+        self.env.remove(&l.iv);
+        t
+    }
+
+    fn exec_store_seq(&mut self, s: &'a StoreOp, t: u64, mem: &mut MemoryState) -> u64 {
+        let elems: Vec<Elem> = s.value.loads().iter().map(|a| self.elem_of(a)).collect();
+        let v = eval_expr(&s.value, &self.env, mem);
+        mem.store(&s.dest, &self.env, v);
+        let dest = self.elem_of(&s.dest);
+        let avails: Vec<u64> = elems
+            .iter()
+            .map(|&e| (t + self.model.load_latency).max(self.ready[e.0][e.1]))
+            .collect();
+        let result = walk_time(self.model, &s.value, &mut avails.iter().copied(), t);
+        self.ready[dest.0][dest.1] = result;
+        result + self.model.store_latency
+    }
+
+    // ------------------------------------------------------------------
+    // Pipelined execution
+    // ------------------------------------------------------------------
+
+    fn exec_pipeline(
+        &mut self,
+        outers: &[&'a ForOp],
+        pipe: &'a ForOp,
+        t: u64,
+        mem: &mut MemoryState,
+    ) -> u64 {
+        let target_ii = pipe.attrs.pipeline_ii.unwrap_or(1).max(1) as u64;
+        let mut region = Region::new(t, target_ii);
+        self.pipe_nest(outers, pipe, &mut region, mem);
+        if region.iters == 0 {
+            return t;
+        }
+        let drain = region.last_finish.saturating_sub(region.last_issue);
+        self.stall_dep += region.stall_dep;
+        self.stall_port += region.stall_port;
+        self.stall_drain += drain;
+        self.pipeline_iterations += region.iters;
+        if !self.loops.contains_key(&pipe.iv) {
+            self.loop_order.push(pipe.iv.clone());
+            self.loops.insert(
+                pipe.iv.clone(),
+                LoopSim {
+                    iv: pipe.iv.clone(),
+                    target_ii,
+                    iterations: 0,
+                    flushes: 0,
+                    issue_span: 0,
+                    active_cycles: 0,
+                    stall_dep: 0,
+                    stall_port: 0,
+                    drain: 0,
+                },
+            );
+        }
+        let agg = self.loops.get_mut(&pipe.iv).expect("inserted above");
+        agg.iterations += region.iters;
+        agg.flushes += 1;
+        agg.issue_span += region.last_issue - region.first_issue;
+        agg.active_cycles += region.last_finish.saturating_sub(region.first_issue);
+        agg.stall_dep += region.stall_dep;
+        agg.stall_port += region.stall_port;
+        agg.drain += drain;
+        region.last_finish + self.model.loop_overhead
+    }
+
+    /// Walks the flattened outer loops down to the pipelined loop,
+    /// issuing one pipeline iteration per innermost trip.
+    fn pipe_nest(
+        &mut self,
+        outers: &[&'a ForOp],
+        pipe: &'a ForOp,
+        region: &mut Region<'a>,
+        mem: &mut MemoryState,
+    ) {
+        if let Some((first, rest)) = outers.split_first() {
+            let (lb, ub) = self.bounds(first);
+            for v in lb..=ub {
+                self.env.insert(first.iv.clone(), v);
+                self.pipe_nest(rest, pipe, region, mem);
+            }
+            self.env.remove(&first.iv);
+            return;
+        }
+        let (lb, ub) = self.bounds(pipe);
+        for v in lb..=ub {
+            self.env.insert(pipe.iv.clone(), v);
+            self.collect(&pipe.body, region, mem);
+            self.time_iteration(region);
+        }
+        self.env.remove(&pipe.iv);
+    }
+
+    /// Functionally executes one pipeline iteration (inner loops fully
+    /// unrolled, conditions evaluated, stores applied in program order —
+    /// exactly the interpreter's semantics) while collecting its store
+    /// instances for the timing pass.
+    fn collect(&mut self, ops: &'a [AffineOp], region: &mut Region<'a>, mem: &mut MemoryState) {
+        for op in ops {
+            match op {
+                AffineOp::Store(s) => {
+                    let loads: Vec<Elem> =
+                        s.value.loads().iter().map(|a| self.elem_of(a)).collect();
+                    let v = eval_expr(&s.value, &self.env, mem);
+                    mem.store(&s.dest, &self.env, v);
+                    let dest = self.elem_of(&s.dest);
+                    region.insts.push(Inst {
+                        store: s,
+                        loads,
+                        dest,
+                    });
+                }
+                AffineOp::If(i) => {
+                    if i.conds.iter().all(|c| c.satisfied(&self.env)) {
+                        self.collect(&i.body, region, mem);
+                    }
+                }
+                AffineOp::For(l) => {
+                    let (lb, ub) = self.bounds(l);
+                    for v in lb..=ub {
+                        self.env.insert(l.iv.clone(), v);
+                        self.collect(&l.body, region, mem);
+                    }
+                    self.env.remove(&l.iv);
+                }
+            }
+        }
+    }
+
+    /// Times one collected pipeline iteration: dependence-ready issue,
+    /// port grants, statement results, write-back.
+    fn time_iteration(&mut self, region: &mut Region<'a>) {
+        let insts = std::mem::take(&mut region.insts);
+        let ports = self.model.ports_per_bank.max(1);
+
+        // Classify reads: an element read before any write this iteration
+        // comes from memory (needs a port); one written earlier is
+        // forwarded in registers.
+        region.mem_reads.clear();
+        region.seen_reads.clear();
+        region.written.clear();
+        for inst in &insts {
+            for &e in &inst.loads {
+                if !region.written.contains(&e) && region.seen_reads.insert(e) {
+                    region.mem_reads.push(e);
+                }
+            }
+            region.written.insert(inst.dest);
+        }
+
+        // Dependence-ready issue time: every memory operand must have been
+        // produced early enough that its load (issued `load_latency` ahead
+        // of use) returns the new value.
+        let tentative = if region.iters == 0 {
+            region.start
+        } else {
+            region.last_issue + region.target_ii
+        };
+        let mut dep_issue = tentative;
+        for &e in &region.mem_reads {
+            dep_issue = dep_issue.max(self.ready[e.0][e.1].saturating_sub(self.model.load_latency));
+        }
+        region.stall_dep += dep_issue - tentative;
+
+        // Port grants for the memory reads, in program order.
+        region.read_grant.clear();
+        let mut issue = dep_issue;
+        for i in 0..region.mem_reads.len() {
+            let e = region.mem_reads[i];
+            let bank = self.bank_of(e);
+            let g = region.grant((e.0, bank), dep_issue, ports);
+            if g > dep_issue {
+                self.port_conflicts += 1;
+            }
+            issue = issue.max(g);
+            region.read_grant.insert(e, g);
+        }
+        region.stall_port += issue - dep_issue;
+
+        // Statement results in program order, with value forwarding.
+        region.results.clear();
+        for inst in &insts {
+            let avails = inst.loads.iter().map(|&e| {
+                let ready = self.ready[e.0][e.1];
+                match region.read_grant.get(&e) {
+                    Some(&g) => ready.max(g + self.model.load_latency),
+                    // Forwarded: produced earlier in this iteration.
+                    None => ready.max(dep_issue),
+                }
+            });
+            let result = walk_time(
+                self.model,
+                &inst.store.value,
+                &mut avails.collect::<Vec<_>>().into_iter(),
+                dep_issue,
+            );
+            self.ready[inst.dest.0][inst.dest.1] = result;
+            region.results.push(result);
+        }
+
+        // Write-back: only the last writer of each element touches memory
+        // (earlier same-iteration writes are dead in-register values).
+        region.last_writer.clear();
+        for (i, inst) in insts.iter().enumerate() {
+            region.last_writer.insert(inst.dest, i);
+        }
+        let mut finish = issue;
+        for (i, inst) in insts.iter().enumerate() {
+            if region.last_writer.get(&inst.dest) != Some(&i) {
+                continue;
+            }
+            let bank = self.bank_of(inst.dest);
+            let r = region.results[i];
+            let g = region.grant((inst.dest.0, bank), r, ports);
+            if g > r {
+                self.port_conflicts += 1;
+            }
+            finish = finish.max(g + self.model.store_latency);
+        }
+
+        if region.iters == 0 {
+            region.first_issue = issue;
+        }
+        region.last_issue = issue;
+        region.last_finish = region.last_finish.max(finish);
+        region.iters += 1;
+
+        region.insts = insts;
+        region.insts.clear();
+    }
+}
+
+/// Computes the result-available time of an expression: DFS in the same
+/// order as `Expr::loads`, consuming one availability per `Load` leaf.
+fn walk_time(
+    model: &CostModel,
+    expr: &Expr,
+    leaves: &mut impl Iterator<Item = u64>,
+    base: u64,
+) -> u64 {
+    match expr {
+        Expr::Load(_) => leaves.next().expect("one availability per load"),
+        Expr::Affine(_) | Expr::Const(_) => base,
+        Expr::Binary(op, l, r) => {
+            let a = walk_time(model, l, leaves, base);
+            let b = walk_time(model, r, leaves, base);
+            a.max(b) + model.op_latency(*op)
+        }
+        Expr::Unary(_, e) => walk_time(model, e, leaves, base) + model.fadd.latency,
+    }
+}
