@@ -10,7 +10,7 @@
 //! pomc verify-all [--size N] [--sample-every K] [--out PATH]
 //! ```
 //!
-//! `--emit lint` runs the `pom-lint` diagnostics suite (POM001–POM005)
+//! `--emit lint` runs the `pom-lint` diagnostics suite (POM001–POM006)
 //! over the compiled design and exits nonzero when any error-severity
 //! diagnostic fires.
 //!
@@ -32,8 +32,9 @@
 //! the whole 14-kernel suite (seed + DSE schedules): simulator memory
 //! must match the affine interpreter bit for bit on every kernel, the
 //! analytical latency must stay within ±15% of the simulated cycles on
-//! the Table III kernels, and the measurements are written to
-//! `BENCH_sim.json`.
+//! the Table III and image kernels, every loop pom-bank certifies
+//! conflict-free must simulate with zero port stalls, and the
+//! measurements are written to `BENCH_sim.json`.
 //!
 //! Kernels: gemm, bicg, gesummv, 2mm, 3mm, jacobi1d, jacobi2d, heat1d,
 //! seidel, edge_detect, gaussian, blur, vgg16, resnet18.

@@ -45,7 +45,9 @@
 //! | Simulator | [`pom_sim`] | cycle-approximate schedule simulation |
 //! | DSE engine | [`pom_dse`] | two-stage automatic scheduling + baselines |
 //! | Validation | [`pom_verify`] | translation validation + dataflow analyses |
+//! | Bank analysis | [`pom_bank`] | polyhedral bank-conflict analysis |
 
+pub use pom_bank as bank;
 pub use pom_dse as dse;
 pub use pom_dsl as dsl;
 pub use pom_graph as graph;
@@ -71,7 +73,7 @@ pub use pom_hls::{
 pub use pom_ir::{execute_func, AffineFunc, PassManager};
 pub use pom_lint::{Diagnostic, LintCode, LintReport, Linter, Severity};
 pub use pom_sim::{simulate, LoopSim, SimReport};
-pub use pom_verify::{analyze_ranges, narrowing_hints, validate, ValidationReport};
+pub use pom_verify::{analyze_ranges, bank_report, narrowing_hints, validate, ValidationReport};
 
 /// The end-to-end POM driver: analysis, scheduling (user-specified or
 /// automatic), lowering, and HLS C generation.

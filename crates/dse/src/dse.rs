@@ -158,7 +158,8 @@ pub fn auto_dse_with(
     // the dependences forbid.
     let mut retargeted = false;
     for l in &compiled.qor.loops {
-        retargeted |= scheduled.retarget_pipeline_ii(&l.iv, l.achieved_ii as i64);
+        let issue_ii = l.achieved_ii.saturating_sub(l.port_slide);
+        retargeted |= scheduled.retarget_pipeline_ii(&l.stmts, &l.iv, issue_ii as i64);
     }
     if retargeted {
         // A genuine retarget changes the schedule's fingerprint, so this

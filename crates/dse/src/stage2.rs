@@ -12,7 +12,7 @@
 
 use crate::cache::{canonical_fingerprint, fingerprint, DseCache, PhaseAccum};
 use crate::compile::{
-    apply_schedule, build_dep_summary, compile, compile_timed, sub_function, CompileError,
+    apply_schedule, build_dep_summary, compile, compile_timed, lower, sub_function, CompileError,
     CompileOptions,
 };
 use pom_dsl::{Function, PartitionStyle, Primitive};
@@ -28,6 +28,15 @@ pub struct DseStats {
     /// Escalation candidates discarded by the lint prescreen before any
     /// estimation was paid for them.
     pub lint_pruned: usize,
+    /// Escalation candidates discarded because they would *introduce* a
+    /// provable bank conflict (POM006) the current configuration does not
+    /// have ([`DseConfig::bank_prune`]; 0 when the prescreen was off).
+    pub bank_pruned: usize,
+    /// Arrays whose partition factors the final bank-repair pass raised
+    /// to their minimal conflict-free values
+    /// ([`DseConfig::bank_repair`]; 0 when repair was off or nothing
+    /// needed raising).
+    pub bank_repaired: usize,
     /// Escalation candidates that were fully estimated.
     pub estimated: usize,
     /// Compile/estimate cache lookups answered from memory.
@@ -132,6 +141,24 @@ pub struct DseConfig {
     /// overshoot BRAM (muxing costs surface in DSP/FF/LUT), and turning
     /// this on trades peak parallelism for memory feasibility.
     pub lint_prune_bram: bool,
+    /// Prune escalation candidates whose pipelined loops pom-bank proves
+    /// cannot meet their declared II through the declared partitioning
+    /// (POM006) when the current configuration has no such conflict.
+    /// Opt-in for the same reason as [`DseConfig::lint_prune_bram`]: bank
+    /// conflicts are a Warning (the design still works, just slower than
+    /// declared), and the seed search deliberately lets the estimator's
+    /// bank-aware ResMII price them instead of forbidding them.
+    pub bank_prune: bool,
+    /// After the resource walk-back, raise the partition factors of any
+    /// array whose provable bank conflicts make a declared II infeasible
+    /// to the minimal conflict-free values pom-bank computes. On by
+    /// default: repair is a no-op on conflict-free winners (every
+    /// non-stencil Table III kernel), and where it does fire the port
+    /// calendars would otherwise slide the issue past the declared II on
+    /// every iteration — a cost no II declaration absorbs. Repair can
+    /// grow BRAM/mux cost past what the walk-back just reclaimed; turn
+    /// it off to reproduce the pre-bank seed search.
+    pub bank_repair: bool,
     /// Memoize compile/estimate results across the search (lint
     /// prescreen, candidate estimation, the final-repair walk-back, and
     /// the post-retarget recompile share one cache). Off reproduces the
@@ -166,6 +193,8 @@ impl Default for DseConfig {
             level_cap: 16,
             max_parallelism: 256,
             lint_prune_bram: false,
+            bank_prune: false,
+            bank_repair: true,
             cache: true,
             workers: 0,
             validate_winner: true,
@@ -534,6 +563,8 @@ pub fn try_bottleneck_optimize_with(
 enum CandidateEval {
     /// Discarded by the lint prescreen before estimation.
     Pruned,
+    /// Discarded by the bank-conflict prescreen before estimation.
+    PrunedBank,
     /// Fully estimated: `(latency, resources)`.
     Estimated(u64, pom_hls::ResourceUsage),
 }
@@ -586,11 +617,21 @@ fn eval_candidate(
     cand: &GroupConfig,
     cur_infeasible: bool,
     cur_bram: Option<u64>,
+    cur_bank_conflict: Option<bool>,
     opts: &CompileOptions,
     cfg: &DseConfig,
     cache: Option<&DseCache>,
     acc: &PhaseAccum,
 ) -> Result<CandidateEval, CompileError> {
+    // Bank prescreen (opt-in, relative): discard a candidate that would
+    // introduce a provable POM006 conflict the current configuration is
+    // free of. Runs on both the cached and uncached paths — the lowering
+    // it pays is not memoized, matching its opt-in nature.
+    if let Some(cur_conflicting) = cur_bank_conflict {
+        if !cur_conflicting && bank_infeasible(stage1_fn, cand, opts) {
+            return Ok(CandidateEval::PrunedBank);
+        }
+    }
     let Some(cache) = cache else {
         // Seed-profile path: every check re-derives everything.
         if lint_screen(
@@ -947,6 +988,9 @@ pub(crate) fn bottleneck_optimize_impl(
             Some(c) => c.memo_bram(fp, &groups, || bram_of(&schedule_for(stage1_fn, &groups))),
             None => bram_of(&schedule_for(stage1_fn, &groups)),
         });
+        let cur_bank_conflict = cfg
+            .bank_prune
+            .then(|| bank_infeasible(stage1_fn, &groups[bottleneck], opts));
 
         // Evaluate every single-step escalation of the bottleneck — in
         // parallel when allowed. Results come back in candidate order, so
@@ -960,6 +1004,7 @@ pub(crate) fn bottleneck_optimize_impl(
                 &cands[i],
                 cur_infeasible,
                 cur_bram,
+                cur_bank_conflict,
                 opts,
                 cfg,
                 cache,
@@ -975,6 +1020,7 @@ pub(crate) fn bottleneck_optimize_impl(
         for (i, ev) in evals.into_iter().enumerate() {
             match ev? {
                 CandidateEval::Pruned => dse_stats.lint_pruned += 1,
+                CandidateEval::PrunedBank => dse_stats.bank_pruned += 1,
                 CandidateEval::Estimated(l2, r2) => {
                     dse_stats.estimated += 1;
                     // Sampled translation validation: every n-th estimated
@@ -1079,6 +1125,46 @@ pub(crate) fn bottleneck_optimize_impl(
             .expect("non-empty tiles");
         g.tiles[widest] = (g.tiles[widest] / 2).max(1);
     }
+    // Bank repair: where pom-bank proves the final design's pipelined
+    // accesses overload a bank's ports, raise the offending arrays'
+    // partition factors to the minimal conflict-free values. The
+    // override is appended to the schedule, so it supersedes the
+    // tile-derived partitioning on lowering (last directive wins).
+    let mut bank_overrides: Vec<(String, Vec<i64>)> = Vec::new();
+    if cfg.bank_repair {
+        let scheduled = schedule_for(stage1_fn, &groups);
+        let stmts = apply_schedule(&scheduled);
+        if let Ok(func) = lower(&scheduled, &stmts) {
+            let ports = opts.model.ports_per_bank.max(1);
+            let mut seen: BTreeSet<String> = BTreeSet::new();
+            for rep in pom_bank::analyze_func(&func) {
+                // Any exact over-demand is worth repairing: the port
+                // calendars slide the issue past the *declared* II on
+                // every iteration, so no II choice absorbs a conflict —
+                // only repartitioning removes it.
+                if !rep.analysis.exact || rep.analysis.conflict_free(ports) {
+                    continue;
+                }
+                for p in rep
+                    .analysis
+                    .profiles
+                    .iter()
+                    .filter(|p| p.exact && p.max_demand > ports)
+                {
+                    if !seen.insert(p.array.clone()) {
+                        continue;
+                    }
+                    if let Some(factors) =
+                        pom_bank::minimal_conflict_free_factors(&func, &p.array, ports)
+                    {
+                        bank_overrides.push((p.array.clone(), factors));
+                    }
+                }
+            }
+        }
+        dse_stats.bank_repaired = bank_overrides.len();
+    }
+
     dse_stats.stage2_time = t_stage2.elapsed();
     if let Some(c) = cache {
         dse_stats.cache_hits = c.hits();
@@ -1086,8 +1172,12 @@ pub(crate) fn bottleneck_optimize_impl(
     }
     dse_stats.lowering_time = acc.lowering();
     dse_stats.estimation_time = acc.estimation();
+    let mut function = schedule_for(stage1_fn, &groups);
+    for (array, factors) in &bank_overrides {
+        function.partition(array, factors, PartitionStyle::Cyclic);
+    }
     Ok(Stage2Result {
-        function: schedule_for(stage1_fn, &groups),
+        function,
         groups,
         stats: dse_stats,
         finalists,
@@ -1162,6 +1252,26 @@ fn schedule_carries_infeasible_ii(scheduled: &Function, deps: &pom_hls::DepSumma
         } else {
             false
         }
+    })
+}
+
+/// True when the group's schedule declares a pipeline II that pom-bank's
+/// exact analysis proves infeasible: some memory bank's per-cycle demand
+/// cannot be served through its ports within the declared II (the POM006
+/// condition). Pays a full lowering of the group's sub-function.
+pub(crate) fn bank_infeasible(base: &Function, group: &GroupConfig, opts: &CompileOptions) -> bool {
+    let members: Vec<&str> = group.members.iter().map(String::as_str).collect();
+    let sub = sub_function(base, &members);
+    let scheduled = schedule_for(&sub, std::slice::from_ref(group));
+    let stmts = apply_schedule(&scheduled);
+    let Ok(func) = lower(&scheduled, &stmts) else {
+        return false;
+    };
+    let ports = opts.model.ports_per_bank.max(1);
+    pom_bank::analyze_func(&func).iter().any(|r| {
+        r.analysis
+            .min_feasible_ii(ports)
+            .is_some_and(|m| m > r.declared_ii)
     })
 }
 
@@ -1375,6 +1485,107 @@ mod tests {
             "stats {:?}",
             default_r.stats
         );
+    }
+
+    /// Lowers a scheduled function and asks pom-bank whether any
+    /// pipelined loop's declared II is provably infeasible (POM006).
+    fn has_bank_conflict(f: &Function, opts: &CompileOptions) -> bool {
+        let stmts = apply_schedule(f);
+        let func = lower(f, &stmts).expect("lowers");
+        let ports = opts.model.ports_per_bank.max(1);
+        pom_bank::analyze_func(&func).iter().any(|r| {
+            r.analysis
+                .min_feasible_ii(ports)
+                .is_some_and(|m| m > r.declared_ii)
+        })
+    }
+
+    #[test]
+    fn bank_defaults_leave_a_conflict_free_search_untouched() {
+        let f = gemm(32);
+        let stage1 = dependence_aware_transform(&f, 8);
+        let opts = CompileOptions::default();
+        let r = bottleneck_optimize(&stage1, &opts);
+        assert_eq!(r.stats.bank_pruned, 0);
+        assert_eq!(r.stats.bank_repaired, 0);
+    }
+
+    #[test]
+    fn bank_repair_raises_partitioning_to_conflict_freedom() {
+        // An unescalated stencil: b[i] = a[i] + a[i+1] + a[i+2] pipelined
+        // at II = 1 with no partitioning — 3 same-cycle reads of one
+        // 2-port bank, a provable POM006 conflict. `max_parallelism: 1`
+        // pins the search there; repair must partition `a` cyclically by
+        // the minimal conflict-free factor (2: the window then spans two
+        // banks, max 2 accesses each).
+        let n = 64usize;
+        let mut f = Function::new("sten");
+        let i = f.var("i", 0, n as i64 - 2);
+        let a = f.placeholder("a", &[n], DataType::F32);
+        let b = f.placeholder("b", &[n], DataType::F32);
+        f.compute(
+            "s",
+            std::slice::from_ref(&i),
+            a.at(&[i.expr()]) + a.at(&[i.expr() + 1]) + a.at(&[i.expr() + 2]),
+            b.access(&[&i]),
+        );
+        let opts = CompileOptions::default();
+        let cfg = DseConfig {
+            max_parallelism: 1,
+            bank_repair: true,
+            ..DseConfig::default()
+        };
+        let r = bottleneck_optimize_with(&f, &opts, &cfg);
+        assert_eq!(r.stats.bank_repaired, 1, "stats {:?}", r.stats);
+        let text: Vec<String> = r
+            .function
+            .schedule()
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        assert!(
+            text.iter().any(|p| p.contains("a.partition({2}")),
+            "{text:?}"
+        );
+        assert!(!has_bank_conflict(&r.function, &opts));
+
+        // Without repair the conflicting declaration survives.
+        let cfg_off = DseConfig {
+            max_parallelism: 1,
+            bank_repair: false,
+            ..DseConfig::default()
+        };
+        let r_off = bottleneck_optimize_with(&f, &opts, &cfg_off);
+        assert_eq!(r_off.stats.bank_repaired, 0);
+        assert!(has_bank_conflict(&r_off.function, &opts));
+    }
+
+    #[test]
+    fn bank_prune_stops_escalation_at_the_last_conflict_free_step() {
+        // b[i] = a[4i]: tiling by t partitions `a` t-way, but the stride-4
+        // accesses all land in bank 0 once t divides 4 — t = 2 keeps 2
+        // accesses on 2 ports (free), t = 4 piles 4 onto one bank (a
+        // provable conflict). The prescreen prunes the t = 4 step and the
+        // search settles on the last conflict-free configuration.
+        let n = 64usize;
+        let mut f = Function::new("gather");
+        let i = f.var("i", 0, n as i64);
+        let a = f.placeholder("a", &[4 * n], DataType::F32);
+        let b = f.placeholder("b", &[n], DataType::F32);
+        f.compute(
+            "s",
+            std::slice::from_ref(&i),
+            a.at(&[i.expr() * 4]) + 1.0,
+            b.access(&[&i]),
+        );
+        let opts = CompileOptions::default();
+        let cfg = DseConfig {
+            bank_prune: true,
+            ..DseConfig::default()
+        };
+        let r = bottleneck_optimize_with(&f, &opts, &cfg);
+        assert!(r.stats.bank_pruned >= 1, "stats {:?}", r.stats);
+        assert!(!has_bank_conflict(&r.function, &opts));
     }
 
     #[test]

@@ -108,21 +108,24 @@ impl Function {
         self.schedule.clear();
     }
 
-    /// Raises the declared target II of every recorded `pipeline`
-    /// primitive on `loop_iv` to at least `ii`, returning whether any
-    /// primitive changed. The DSE engine uses this to align declared IIs
-    /// with achieved ones, so the emitted pragmas (and `pom-lint`'s
-    /// feasibility check) reflect what the recurrence actually allows.
-    pub fn retarget_pipeline_ii(&mut self, loop_iv: &str, ii: i64) -> bool {
+    /// Raises the declared target II of the recorded `pipeline`
+    /// primitives on `loop_iv` whose statement is in `stmts` to at least
+    /// `ii`, returning whether any primitive changed. The DSE engine uses
+    /// this to align declared IIs with achieved ones, so the emitted
+    /// pragmas (and `pom-lint`'s feasibility check) reflect what the
+    /// recurrence actually allows. The statement filter keeps sibling
+    /// nests that reuse an iv name (every stage of a fused image pipeline
+    /// pipelines an `i`) from inheriting each other's II.
+    pub fn retarget_pipeline_ii(&mut self, stmts: &[String], loop_iv: &str, ii: i64) -> bool {
         let mut changed = false;
         for p in &mut self.schedule {
             if let Primitive::Pipeline {
+                stmt,
                 loop_iv: lv,
                 ii: target,
-                ..
             } = p
             {
-                if lv == loop_iv && *target < ii {
+                if lv == loop_iv && stmts.contains(stmt) && *target < ii {
                     *target = ii;
                     changed = true;
                 }

@@ -118,14 +118,23 @@ pub enum Sharing {
 pub struct LoopQoR {
     /// Induction variable.
     pub iv: String,
-    /// Achieved initiation interval.
+    /// Achieved initiation interval — the effective issue-to-issue
+    /// distance, including any per-iteration port slide.
     pub achieved_ii: u64,
+    /// Per-iteration issue slide from overloaded memory banks (part of
+    /// `achieved_ii`). No declared II absorbs it, so the DSE retarget
+    /// excludes it; only repartitioning the offending array removes it.
+    pub port_slide: u64,
     /// Trip count of the pipelined loop.
     pub trip: u64,
     /// Pipeline depth (cycles).
     pub depth: u64,
     /// Unrolled copies executing per pipeline iteration.
     pub unrolled_copies: u64,
+    /// Statements stored inside the loop body. Induction-variable names
+    /// repeat across sibling nests (every stage of a fused image pipeline
+    /// pipelines an `i`), so per-loop consumers key on these, not on `iv`.
+    pub stmts: Vec<String>,
 }
 
 /// Quality-of-result estimate for a function.
@@ -155,10 +164,22 @@ pub fn estimate(func: &AffineFunc, deps: &DepSummary, model: &CostModel, sharing
         .iter()
         .map(|m| (m.name.clone(), m.banks().max(1) as u64))
         .collect();
+    // Per-iteration port slide per pipelined loop, where pom-bank can
+    // enumerate the per-iteration accesses exactly. Keyed by the loop's
+    // statements — sibling nests reuse iv names.
+    let bank_slides: Vec<(Vec<String>, u64)> = pom_bank::analyze_func(func)
+        .into_iter()
+        .filter_map(|r| {
+            r.analysis
+                .port_slide(model.ports_per_bank)
+                .map(|s| (r.stmts, s))
+        })
+        .collect();
     let mut est = Estimator {
         model,
         deps,
         banks: &banks,
+        bank_slides: &bank_slides,
         sharing,
         loops: Vec::new(),
     };
@@ -191,6 +212,9 @@ struct Estimator<'a> {
     model: &'a CostModel,
     deps: &'a DepSummary,
     banks: &'a HashMap<String, u64>,
+    /// Exact per-iteration port slide per pipelined loop (keyed by the
+    /// loop's statements), from pom-bank.
+    bank_slides: &'a [(Vec<String>, u64)],
     sharing: Sharing,
     loops: Vec<LoopQoR>,
 }
@@ -360,15 +384,32 @@ impl Estimator<'_> {
             .unwrap_or(1)
             .max(1);
 
-        // ResMII from memory ports.
+        // ResMII from memory ports: the even-spread bound
+        // `ceil(accesses / (banks × ports))` assumes accesses distribute
+        // uniformly over banks...
         let mut res_mii = 1u64;
         for (array, accesses) in &body.accesses {
             let banks = self.banks.get(array).copied().unwrap_or(1);
             let ports = banks * self.model.ports_per_bank;
             res_mii = res_mii.max(accesses.div_ceil(ports.max(1)));
         }
+        let base = rec_mii.max(res_mii);
 
-        let ii = rec_mii.max(res_mii);
+        // ...which windowed stencil re-reads violate: accesses sharing a
+        // residue class pile into one bank. The simulator's calendars
+        // grant all of an iteration's reads at the issue cycle, so an
+        // overloaded bank slides the issue by `ceil(demand/ports) - 1`
+        // cycles past the *declared* II on every iteration. Where
+        // pom-bank enumerated the accesses exactly, floor the effective
+        // II at `declared + slide`; the excess over `base` is reported as
+        // `port_slide` and kept out of the declared-II retarget (no II
+        // absorbs it — only repartitioning removes it).
+        let declared = l.attrs.pipeline_ii.unwrap_or(1).max(1) as u64;
+        let ii = self
+            .bank_slides
+            .iter()
+            .find(|(stmts, _)| body.stmts.iter().any(|s| stmts.contains(s)))
+            .map_or(base, |&(_, s)| base.max(declared + s));
 
         // Resources: unrolled operator instances are spatial — every copy
         // gets its own operators (Vitis only time-shares across iterations
@@ -385,9 +426,11 @@ impl Estimator<'_> {
         self.loops.push(LoopQoR {
             iv: l.iv.clone(),
             achieved_ii: ii,
+            port_slide: ii - base,
             trip,
             depth,
             unrolled_copies: body.copies,
+            stmts: body.stmts,
         });
         (ii, depth, res)
     }
@@ -405,6 +448,9 @@ impl Estimator<'_> {
         for op in ops {
             match op {
                 AffineOp::Store(s) => {
+                    if !out.stmts.contains(&s.stmt) {
+                        out.stmts.push(s.stmt.clone());
+                    }
                     let lat = expr_latency(&s.value, self.model) + self.model.store_latency;
                     out.max_stmt_latency = out.max_stmt_latency.max(lat);
                     let c = s.value.op_counts();
@@ -482,6 +528,8 @@ struct PipeBody {
     copies: u64,
     /// Stack of enclosing unrolled loops `(iv, trip)` during collection.
     unrolled: Vec<(String, u64)>,
+    /// Statement names stored in the body, in program order.
+    stmts: Vec<String>,
 }
 
 #[cfg(test)]
@@ -633,6 +681,54 @@ mod tests {
         let q2 = estimate(&f2, &DepSummary::new(), &m, Sharing::Reuse);
         assert_eq!(q2.loops[0].achieved_ii, 1);
         assert!(q2.latency < q.latency);
+    }
+
+    #[test]
+    fn bank_collisions_raise_res_mii_above_even_spread() {
+        // b[i] = a[2i] + a[2i+2] + a[2i+4] with a partitioned cyclic(2):
+        // all three reads are even — they share residue class 0 and pile
+        // into one bank. Even-spread says ceil(3 / (2 banks × 2 ports)) =
+        // 1; the exact per-bank demand is 3 → II = 2.
+        let m = CostModel::vitis_f32();
+        let mut f = AffineFunc::new("f");
+        f.memrefs.push(MemRefDecl::new("a", &[256], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("b", &[64], DataType::F32));
+        f.memref_mut("a").unwrap().partition = Some(PartitionInfo {
+            factors: vec![2],
+            style: PartitionStyle::Cyclic,
+        });
+        let i = LinearExpr::var("i");
+        let two_i = i.clone() * 2;
+        let body = pom_dsl::Expr::Load(AccessFn::new("a", vec![two_i.clone()]))
+            + pom_dsl::Expr::Load(AccessFn::new("a", vec![two_i.clone() + 2]))
+            + pom_dsl::Expr::Load(AccessFn::new("a", vec![two_i.clone() + 4]));
+        let l = ForOp {
+            extra: Vec::new(),
+            iv: "i".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(63)],
+            attrs: HlsAttrs {
+                pipeline_ii: Some(1),
+                ..Default::default()
+            },
+            body: vec![AffineOp::Store(StoreOp {
+                stmt: "S".into(),
+                dest: AccessFn::new("b", vec![i.clone()]),
+                value: body,
+            })],
+        };
+        f.body.push(AffineOp::For(l));
+        let q = estimate(&f, &DepSummary::new(), &m, Sharing::Reuse);
+        assert_eq!(q.loops[0].achieved_ii, 2, "per-bank demand 3 over 2 ports");
+        // Factor 4 still maps the window onto two even banks (demand 2,
+        // one cycle's worth of ports) — II returns to 1.
+        let mut f2 = f.clone();
+        f2.memref_mut("a").unwrap().partition = Some(PartitionInfo {
+            factors: vec![4],
+            style: PartitionStyle::Cyclic,
+        });
+        let q2 = estimate(&f2, &DepSummary::new(), &m, Sharing::Reuse);
+        assert_eq!(q2.loops[0].achieved_ii, 1);
     }
 
     #[test]

@@ -123,6 +123,33 @@ pub fn verify(func: &AffineFunc) -> Result<(), VerifyError> {
     verify_ops(func, &func.body, &mut scope, &memrefs)
 }
 
+/// The known `hls.*` key closest to `key` by edit distance, when close
+/// enough to be a plausible typo (distance <= 1/3 of the key's length).
+fn nearest_hls_key(key: &str) -> Option<&'static str> {
+    TYPED_HLS_KEYS
+        .iter()
+        .map(|k| (edit_distance(key, k), *k))
+        .min()
+        .filter(|&(d, _)| d <= key.len().max(1) / 3)
+        .map(|(_, k)| k)
+}
+
+/// Levenshtein distance over bytes (attribute keys are ASCII).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 fn check_expr_scope(
     e: &pom_poly::LinearExpr,
     scope: &[String],
@@ -194,12 +221,16 @@ fn verify_ops(
                                 r.key, l.iv
                             )
                         } else {
-                            format!(
+                            let mut msg = format!(
                                 "unknown HLS pragma attribute {} on loop {} (known: {})",
                                 r.key,
                                 l.iv,
                                 TYPED_HLS_KEYS.join(", ")
-                            )
+                            );
+                            if let Some(near) = nearest_hls_key(&r.key) {
+                                msg.push_str(&format!("; did you mean `{near}`?"));
+                            }
+                            msg
                         };
                         return Err(VerifyError::at(msg, scope));
                     }
@@ -372,6 +403,28 @@ mod tests {
             err.message
         );
         assert!(err.message.contains("hls.pipeline_ii"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_hls_pragma_suggests_nearest_key() {
+        let mut f = valid_func();
+        if let AffineOp::For(l) = &mut f.body[0] {
+            l.extra.push(RawAttr::new("hls.pipelin_ii", "2"));
+        }
+        let err = verify(&f).unwrap_err();
+        assert!(
+            err.message.contains("did you mean `hls.pipeline_ii`?"),
+            "{}",
+            err.message
+        );
+
+        // A key nothing like any known pragma gets no suggestion.
+        let mut f = valid_func();
+        if let AffineOp::For(l) = &mut f.body[0] {
+            l.extra.push(RawAttr::new("hls.qzx", "1"));
+        }
+        let err = verify(&f).unwrap_err();
+        assert!(!err.message.contains("did you mean"), "{}", err.message);
     }
 
     #[test]

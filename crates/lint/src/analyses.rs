@@ -1,4 +1,4 @@
-//! The five shipped lint analyses (POM001–POM005).
+//! The six shipped lint analyses (POM001–POM006).
 
 use crate::context::{walk_loops, walk_stores, LintContext};
 use crate::{Analysis, Diagnostic, LintCode, Location};
@@ -531,6 +531,79 @@ impl Analysis for DeadCode {
     }
 }
 
+/// POM006: the declared pipeline II must survive pom-bank's *exact*
+/// bank-conflict analysis. Where POM003 spreads raw access counts
+/// evenly over the partition's banks, this analysis maps every access
+/// through the declared `hls.array_partition` congruence classes —
+/// discounting same-iteration forwarded reads and dead writes — and
+/// flags loops whose worst per-bank demand provably cannot be served
+/// within the declared II. The same condition is what fails a
+/// conflict-freedom certificate in `pom_verify::bank_report`.
+pub struct BankConflict;
+
+impl Analysis for BankConflict {
+    fn name(&self) -> &'static str {
+        "bank-conflict"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let ports = cx.model.ports_per_bank.max(1);
+        // Full loop paths for nicer locations; analyze_func only
+        // reports the pipelined loop's own iv.
+        let mut paths: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        walk_loops(cx.func, &mut |l, path| {
+            paths.insert(l.iv.clone(), path_ivs(path));
+        });
+        for rep in pom_bank::analyze_func(cx.func) {
+            let Some(min_ii) = rep.analysis.min_feasible_ii(ports) else {
+                continue; // inexact: claim nothing
+            };
+            if min_ii <= rep.declared_ii {
+                continue;
+            }
+            let Some(worst) = rep
+                .analysis
+                .profiles
+                .iter()
+                .filter(|p| p.exact)
+                .max_by_key(|p| p.max_demand)
+            else {
+                continue;
+            };
+            let path = paths
+                .get(&rep.iv)
+                .cloned()
+                .unwrap_or_else(|| vec![rep.iv.clone()]);
+            let suggestion =
+                match pom_bank::minimal_conflict_free_factors(cx.func, &worst.array, ports) {
+                    Some(factors) => format!(
+                        "cyclically partition `{}` with factors {factors:?} (the minimal \
+                     conflict-free partitioning), or declare pipeline II >= {min_ii}",
+                        worst.array
+                    ),
+                    None => format!(
+                        "declare pipeline II >= {min_ii} on %{}; no partitioning of `{}` \
+                     separates these accesses",
+                        rep.iv, worst.array
+                    ),
+                };
+            out.push(
+                Diagnostic::new(
+                    LintCode::BankConflict,
+                    Location::in_loops(&cx.func.name, &path),
+                    format!(
+                        "`{}` is partitioned into {} bank(s) but {} same-cycle accesses \
+                         of pipelined loop %{} provably collide in one bank; {} port(s) \
+                         per bank force II >= {min_ii} > declared {}",
+                        worst.array, worst.banks, worst.max_demand, rep.iv, ports, rep.declared_ii
+                    ),
+                )
+                .with_suggestion(suggestion),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -992,6 +1065,81 @@ mod tests {
             .register(DeadCode)
             .run(&ctx(&f, &deps, &model, &device));
         assert!(report.is_clean(), "{}", report.render("red"));
+    }
+
+    /// b[i] = a[i] + a[i+1] + a[i+2] at the given II, with `a`
+    /// cyclically partitioned by `factor` (0 = unpartitioned).
+    fn bank_stencil(factor: i64, ii: i64) -> AffineFunc {
+        let mut f = AffineFunc::new("st");
+        f.memrefs.push(MemRefDecl::new("a", &[64], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("b", &[64], DataType::F32));
+        if factor > 0 {
+            f.memref_mut("a").unwrap().partition = Some(PartitionInfo {
+                factors: vec![factor],
+                style: pom_dsl::PartitionStyle::Cyclic,
+            });
+        }
+        let v = LinearExpr::var("i");
+        f.body.push(AffineOp::For(ForOp {
+            extra: Vec::new(),
+            iv: "i".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(31)],
+            attrs: HlsAttrs {
+                pipeline_ii: Some(ii),
+                ..Default::default()
+            },
+            body: vec![AffineOp::Store(StoreOp {
+                stmt: "s".into(),
+                dest: AccessFn::new("b", vec![v.clone()]),
+                value: load("a", vec![v.clone()])
+                    + load("a", vec![v.clone() + 1])
+                    + load("a", vec![v + 2]),
+            })],
+        }));
+        f
+    }
+
+    #[test]
+    fn bank_conflict_flags_infeasible_ii_and_suggests_the_minimal_factor() {
+        // 3 same-cycle reads of one unpartitioned bank through 2 ports:
+        // II >= 2, declared 1.
+        let f = bank_stencil(0, 1);
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+        let report = Linter::new()
+            .register(BankConflict)
+            .run(&ctx(&f, &deps, &model, &device));
+        let pom6 = report.with_code(LintCode::BankConflict);
+        assert_eq!(pom6.len(), 1, "{}", report.render("st"));
+        assert_eq!(pom6[0].severity, Severity::Warning);
+        assert!(
+            pom6[0].message.contains("force II >= 2"),
+            "{}",
+            pom6[0].message
+        );
+        let help = pom6[0].suggestion.as_deref().unwrap();
+        assert!(help.contains("factors [2]"), "{help}");
+    }
+
+    #[test]
+    fn bank_conflict_is_silent_when_partitioned_or_feasible() {
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+        // Cyclic factor 3 separates the window: conflict-free.
+        let f = bank_stencil(3, 1);
+        let report = Linter::new()
+            .register(BankConflict)
+            .run(&ctx(&f, &deps, &model, &device));
+        assert!(report.is_clean(), "{}", report.render("st"));
+        // Middle band: the conflict exists but declared II = 2 absorbs it.
+        let f = bank_stencil(0, 2);
+        let report = Linter::new()
+            .register(BankConflict)
+            .run(&ctx(&f, &deps, &model, &device));
+        assert!(report.is_clean(), "{}", report.render("st"));
     }
 
     #[test]

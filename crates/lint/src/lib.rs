@@ -18,6 +18,7 @@
 //! | `POM003` | unroll/partition port pressure & BRAM budget | Warning | VI-B |
 //! | `POM004` | dependence not lexicographically preserved | Error | VI-A |
 //! | `POM005` | dead stores / never-accessed memrefs | Warning | IV |
+//! | `POM006` | declared II infeasible under provable bank conflicts | Warning | VI-B |
 //!
 //! The linter is wired into three places: `PassManager::lint_each` (a
 //! post-pass hook alongside `verify_each`), `dse::stage2` (candidate
@@ -69,6 +70,12 @@ pub enum LintCode {
     /// POM005: a store never observed by any load, or a memref never
     /// accessed at all.
     DeadCode,
+    /// POM006: the declared pipeline II is provably infeasible because
+    /// same-cycle accesses collide in a memory bank — pom-bank's exact
+    /// congruence analysis (which, unlike POM003, discounts forwarded
+    /// reads and proves per-bank residue classes) found a bank whose
+    /// demand cannot be served within the declared II.
+    BankConflict,
 }
 
 impl LintCode {
@@ -80,6 +87,7 @@ impl LintCode {
             LintCode::PortPressure => "POM003",
             LintCode::IllegalSchedule => "POM004",
             LintCode::DeadCode => "POM005",
+            LintCode::BankConflict => "POM006",
         }
     }
 
@@ -89,7 +97,9 @@ impl LintCode {
             LintCode::IiInfeasible | LintCode::OutOfBounds | LintCode::IllegalSchedule => {
                 Severity::Error
             }
-            LintCode::PortPressure | LintCode::DeadCode => Severity::Warning,
+            LintCode::PortPressure | LintCode::DeadCode | LintCode::BankConflict => {
+                Severity::Warning
+            }
         }
     }
 }
@@ -285,7 +295,7 @@ impl Linter {
         Self::default()
     }
 
-    /// The standard registry: all five shipped analyses.
+    /// The standard registry: all six shipped analyses.
     pub fn standard() -> Self {
         Linter::new()
             .register(analyses::IiFeasibility)
@@ -293,6 +303,7 @@ impl Linter {
             .register(analyses::PortPressure)
             .register(analyses::ScheduleLegality)
             .register(analyses::DeadCode)
+            .register(analyses::BankConflict)
     }
 
     /// Registers one analysis.
@@ -327,6 +338,8 @@ mod tests {
     fn codes_and_severities() {
         assert_eq!(LintCode::IiInfeasible.as_str(), "POM001");
         assert_eq!(LintCode::DeadCode.as_str(), "POM005");
+        assert_eq!(LintCode::BankConflict.as_str(), "POM006");
+        assert_eq!(LintCode::BankConflict.default_severity(), Severity::Warning);
         assert_eq!(LintCode::OutOfBounds.default_severity(), Severity::Error);
         assert_eq!(LintCode::PortPressure.default_severity(), Severity::Warning);
         assert!(Severity::Error < Severity::Warning);

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod astbuild;
+pub mod congruence;
 pub mod constraint;
 pub mod dependence;
 pub mod expr;
@@ -50,6 +51,7 @@ pub mod transform;
 pub mod vector;
 
 pub use astbuild::{AstBuilder, AstNode, Bound, BoundKind};
+pub use congruence::{congruent_coeffs, may_equal, may_share_class, range_over, residue};
 pub use constraint::{Constraint, ConstraintKind};
 pub use dependence::{AccessFn, DepKind, Dependence, DependenceAnalysis};
 pub use expr::LinearExpr;

@@ -30,9 +30,10 @@
 //! available in registers) bypass the memory: they cost no port and no
 //! load latency beyond the producer's finish time.
 
-use crate::report::{LoopSim, SimReport};
+use crate::report::{BankStall, LoopSim, SimReport};
+use pom_bank::ArrayBanks;
 use pom_dsl::interp::eval_expr;
-use pom_dsl::{Expr, MemoryState, PartitionStyle};
+use pom_dsl::{Expr, MemoryState};
 use pom_hls::{CostModel, DepSummary};
 use pom_ir::{AffineFunc, AffineOp, ForOp, StoreOp};
 use pom_poly::AccessFn;
@@ -66,19 +67,6 @@ pub fn simulate(
 
 /// `(array id, flat element index)` — the unit of dependence tracking.
 type Elem = (usize, usize);
-
-/// Bank mapping of one array dimension.
-struct BankDim {
-    factor: i64,
-    /// Elements per bank along this dimension (block style).
-    chunk: i64,
-    cyclic: bool,
-}
-
-struct ArrayInfo {
-    shape: Vec<usize>,
-    bank_dims: Vec<BankDim>,
-}
 
 /// One store instance collected from a pipeline iteration.
 struct Inst<'a> {
@@ -170,7 +158,11 @@ struct Sim<'a> {
     model: &'a CostModel,
     /// Array name → dense id into `info`/`ready`.
     ids: HashMap<&'a str, usize>,
-    info: Vec<ArrayInfo>,
+    /// Bank mapping per array (shared semantics with pom-bank's static
+    /// analysis — the simulator is its dynamic ground truth).
+    info: Vec<ArrayBanks>,
+    /// Per-(array id, bank): delayed grants and total slide cycles.
+    bank_stalls: HashMap<(usize, u32), (u64, u64)>,
     /// Per element: the cycle its current value becomes forwardable.
     ready: Vec<Vec<u64>>,
     env: HashMap<String, i64>,
@@ -190,41 +182,15 @@ impl<'a> Sim<'a> {
         let mut ready = Vec::new();
         for m in &func.memrefs {
             ids.insert(m.name.as_str(), info.len());
-            let bank_dims = match &m.partition {
-                Some(p) => p
-                    .factors
-                    .iter()
-                    .zip(&m.shape)
-                    .map(|(&f, &n)| {
-                        let f = f.max(1).min(n.max(1) as i64);
-                        BankDim {
-                            factor: f,
-                            chunk: ((n as i64 + f - 1) / f).max(1),
-                            cyclic: !matches!(p.style, PartitionStyle::Block),
-                        }
-                    })
-                    .collect(),
-                None => m
-                    .shape
-                    .iter()
-                    .map(|_| BankDim {
-                        factor: 1,
-                        chunk: 1,
-                        cyclic: true,
-                    })
-                    .collect(),
-            };
             ready.push(vec![0u64; m.shape.iter().product::<usize>()]);
-            info.push(ArrayInfo {
-                shape: m.shape.clone(),
-                bank_dims,
-            });
+            info.push(ArrayBanks::of(m));
         }
         Sim {
             deps,
             model,
             ids,
             info,
+            bank_stalls: HashMap::new(),
             ready,
             env: HashMap::new(),
             stall_dep: 0,
@@ -239,6 +205,21 @@ impl<'a> Sim<'a> {
 
     fn into_report(self, cycles: u64) -> SimReport {
         let mut loops = self.loops;
+        let mut names = vec![""; self.info.len()];
+        for (name, &id) in &self.ids {
+            names[id] = name;
+        }
+        let mut bank_stalls: Vec<BankStall> = self
+            .bank_stalls
+            .iter()
+            .map(|(&(aid, bank), &(conflicts, slide_cycles))| BankStall {
+                array: names[aid].to_string(),
+                bank,
+                conflicts,
+                slide_cycles,
+            })
+            .collect();
+        bank_stalls.sort_by(|a, b| a.array.cmp(&b.array).then(a.bank.cmp(&b.bank)));
         SimReport {
             cycles,
             stall_dep: self.stall_dep,
@@ -251,6 +232,7 @@ impl<'a> Sim<'a> {
                 .iter()
                 .filter_map(|iv| loops.remove(iv))
                 .collect(),
+            bank_stalls,
             sim_time: Default::default(),
         }
     }
@@ -295,30 +277,15 @@ impl<'a> Sim<'a> {
 
     /// The bank an element lives in (mixed-radix across dimensions).
     fn bank_of(&self, e: Elem) -> u32 {
-        let info = &self.info[e.0];
-        let mut rem = e.1;
-        let mut bank = 0u64;
-        // Decompose the flat index back into per-dimension coordinates
-        // (row-major, so peel from the innermost dimension), accumulating
-        // the mixed-radix bank number front-to-back afterwards.
-        let mut coords = [0i64; 8];
-        assert!(info.shape.len() <= 8, "arrays of rank > 8 are not banked");
-        for d in (0..info.shape.len()).rev() {
-            let n = info.shape[d].max(1);
-            coords[d] = (rem % n) as i64;
-            rem /= n;
-        }
-        for (d, bd) in info.bank_dims.iter().enumerate() {
-            let b = if bd.factor <= 1 {
-                0
-            } else if bd.cyclic {
-                coords[d] % bd.factor
-            } else {
-                (coords[d] / bd.chunk).min(bd.factor - 1)
-            };
-            bank = bank * bd.factor as u64 + b as u64;
-        }
-        bank as u32
+        self.info[e.0].bank_of_flat(e.1)
+    }
+
+    /// Attributes one delayed grant on `(array, bank)`.
+    fn note_conflict(&mut self, key: (usize, u32), slide: u64) {
+        self.port_conflicts += 1;
+        let slot = self.bank_stalls.entry(key).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += slide;
     }
 
     // ------------------------------------------------------------------
@@ -566,7 +533,7 @@ impl<'a> Sim<'a> {
             let bank = self.bank_of(e);
             let g = region.grant((e.0, bank), dep_issue, ports);
             if g > dep_issue {
-                self.port_conflicts += 1;
+                self.note_conflict((e.0, bank), g - dep_issue);
             }
             issue = issue.max(g);
             region.read_grant.insert(e, g);
@@ -609,7 +576,7 @@ impl<'a> Sim<'a> {
             let r = region.results[i];
             let g = region.grant((inst.dest.0, bank), r, ports);
             if g > r {
-                self.port_conflicts += 1;
+                self.note_conflict((inst.dest.0, bank), g - r);
             }
             finish = finish.max(g + self.model.store_latency);
         }

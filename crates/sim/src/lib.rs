@@ -31,7 +31,7 @@ mod engine;
 mod report;
 
 pub use engine::simulate;
-pub use report::{LoopSim, SimReport};
+pub use report::{BankStall, LoopSim, SimReport};
 
 #[cfg(test)]
 mod tests {
@@ -226,6 +226,15 @@ mod tests {
         assert!(r.stall_port > 0);
         assert!(r.port_conflicts > 0);
         assert_eq!(r.stall_dep, 0);
+        // The attribution table pins the conflicts on bank 0 of the
+        // read-side array (writes arrive pre-staggered by the serialized
+        // reads) and accounts for every delayed grant.
+        assert!(!r.bank_stalls.is_empty());
+        assert!(r.bank_stalls.iter().all(|b| b.array == "x" && b.bank == 0));
+        assert_eq!(
+            r.bank_stalls.iter().map(|b| b.conflicts).sum::<u64>(),
+            r.port_conflicts
+        );
 
         let mut f2 = f.clone();
         for a in ["x", "y"] {
@@ -283,7 +292,15 @@ mod tests {
         let m_cyc = sim_checked(&build(PartitionStyle::Cyclic), &DepSummary::new(), &m);
         let m_blk = sim_checked(&build(PartitionStyle::Block), &DepSummary::new(), &m);
         assert_eq!(m_cyc.port_conflicts, 0, "cyclic: banks 0,1,2 are distinct");
+        assert!(m_cyc.bank_stalls.is_empty());
         assert!(m_blk.port_conflicts > 0, "block: x[0..3] share bank 0");
+        assert!(
+            m_blk
+                .bank_stalls
+                .iter()
+                .all(|b| b.array == "x" && b.bank == 0),
+            "all block-style conflicts sit in x's bank 0"
+        );
         assert!(m_blk.cycles >= m_cyc.cycles);
     }
 

@@ -50,6 +50,20 @@ impl LoopSim {
     }
 }
 
+/// Port-contention attribution for one (array, bank) pair: how many
+/// grants slid past their requested cycle, and by how far in total.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BankStall {
+    /// Array name.
+    pub array: String,
+    /// Bank number (mixed-radix across partitioned dimensions).
+    pub bank: u32,
+    /// Requests granted later than requested.
+    pub conflicts: u64,
+    /// Total cycles of grant slide across those requests.
+    pub slide_cycles: u64,
+}
+
 /// The result of simulating one affine function.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimReport {
@@ -67,6 +81,9 @@ pub struct SimReport {
     pub port_conflicts: u64,
     /// Per-pipelined-loop statistics, in first-execution order.
     pub loops: Vec<LoopSim>,
+    /// Per-(array, bank) port-conflict attribution, sorted by array name
+    /// then bank; pairs that never conflicted are omitted.
+    pub bank_stalls: Vec<BankStall>,
     /// Wall-clock time spent simulating.
     pub sim_time: Duration,
 }
@@ -114,6 +131,20 @@ impl SimReport {
                     l.stall_port,
                     l.drain,
                     100.0 * l.occupancy()
+                );
+            }
+        }
+        if !self.bank_stalls.is_empty() {
+            let _ = writeln!(
+                s,
+                "{:<10} {:>6} {:>10} {:>12}",
+                "array", "bank", "conflicts", "slide-cycles"
+            );
+            for b in &self.bank_stalls {
+                let _ = writeln!(
+                    s,
+                    "{:<10} {:>6} {:>10} {:>12}",
+                    b.array, b.bank, b.conflicts, b.slide_cycles
                 );
             }
         }

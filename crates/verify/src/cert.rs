@@ -26,6 +26,10 @@ pub enum ObligationKind {
     /// The directive only attaches attributes; iteration order is
     /// untouched by construction.
     AttributeOnly,
+    /// All same-cycle accesses of a pipelined loop land in distinct
+    /// memory banks (or fit one bank's ports): the declared II incurs no
+    /// port stalls. Discharged by pom-bank's congruence analysis.
+    BankConflictFree,
 }
 
 impl ObligationKind {
@@ -37,6 +41,7 @@ impl ObligationKind {
             ObligationKind::FootprintPreserved => "footprint-preserved",
             ObligationKind::OrderPreserved => "order-preserved",
             ObligationKind::AttributeOnly => "attribute-only",
+            ObligationKind::BankConflictFree => "bank-conflict-free",
         }
     }
 }

@@ -21,11 +21,13 @@
 //! dependency graph and depends only on `pom-poly`, `pom-dsl`, and
 //! `pom-ir`.
 
+pub mod bank;
 pub mod cert;
 pub mod dataflow;
 pub mod passes;
 pub mod tv;
 
+pub use bank::bank_report;
 pub use cert::{Certificate, Obligation, ObligationKind, ObligationStatus, ValidationReport};
 pub use dataflow::{
     analyze_ranges, expr_interval, narrowing_hints, uninit_reads, AbstractValue, BitwidthHint,
