@@ -4,11 +4,25 @@
 //! the requested artefact:
 //!
 //! ```text
-//! pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim] [--no-dse]
+//! pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim|cache]
+//!               [--no-dse] [--store DIR] [--daemon SOCKET]
 //! pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]
 //! pomc bench-sim [--size N] [--out PATH]
+//! pomc bench-serve [--size N] [--repeat N] [--clients N] [--out PATH]
 //! pomc verify-all [--size N] [--sample-every K] [--out PATH]
 //! ```
+//!
+//! `--store DIR` backs the DSE cache with the persistent artifact store
+//! rooted at `DIR` (shared across processes; see `pom_dse::store`), and
+//! `--emit cache` prints the cache + store statistics of the run.
+//! `--daemon SOCKET` sends the request to a running `pomd` instead of
+//! compiling locally and prints the daemon's serving payload (schedule +
+//! QoR + HLS C); other emit modes don't apply over the daemon.
+//!
+//! `bench-serve` replays the duplicate-heavy serving traffic mix against
+//! cold-process, warm-store, and daemon configurations, writes
+//! `BENCH_serve.json`, and exits nonzero when the warm-vs-cold speedup,
+//! cross-process hit rate, or byte-identity gates fail.
 //!
 //! `--emit lint` runs the `pom-lint` diagnostics suite (POM001–POM006)
 //! over the compiled design and exits nonzero when any error-severity
@@ -39,36 +53,16 @@
 //! Kernels: gemm, bicg, gesummv, 2mm, 3mm, jacobi1d, jacobi2d, heat1d,
 //! seidel, edge_detect, gaussian, blur, vgg16, resnet18.
 
-use pom::{auto_dse, baselines, CompileOptions, Function, MemoryState, Pom};
-use pom_bench::experiments::{bench_dse, bench_poly, bench_sim, verify_suite};
-
-fn kernel_by_name(name: &str, size: usize) -> Option<Function> {
-    use pom_bench::kernels as k;
-    Some(match name {
-        "gemm" => k::gemm(size),
-        "bicg" => k::bicg(size),
-        "gesummv" => k::gesummv(size),
-        "2mm" | "mm2" => k::mm2(size),
-        "3mm" | "mm3" => k::mm3(size),
-        "jacobi1d" => k::jacobi1d(size / 16, size),
-        "jacobi2d" => k::jacobi2d(size / 16, size / 8),
-        "heat1d" => k::heat1d(size / 16, size),
-        "seidel" => k::seidel(size / 4),
-        "edge_detect" => k::edge_detect(size),
-        "gaussian" => k::gaussian(size),
-        "blur" => k::blur(size),
-        "vgg16" => k::vgg16(1),
-        "resnet18" => k::resnet18(1),
-        _ => return None,
-    })
-}
+use pom::{auto_dse_with, baselines, ArtifactStore, CompileOptions, DseConfig, MemoryState, Pom};
+use pom_bench::experiments::{bench_dse, bench_poly, bench_serve, bench_sim, verify_suite};
+use pom_bench::serve::kernel_by_name;
 
 /// The artefacts `--emit` can produce, validated before any compilation.
 const EMIT_MODES: &[&str] = &[
-    "dsl", "graph", "ir", "c", "tb", "report", "schedule", "lint", "verify", "sim",
+    "dsl", "graph", "ir", "c", "tb", "report", "schedule", "lint", "verify", "sim", "cache",
 ];
 
-const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim] [--no-dse]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]\n       pomc bench-poly [--iters N] [--out PATH] [--baseline PATH]\n       pomc bench-sim [--size N] [--out PATH]\n       pomc verify-all [--size N] [--sample-every K] [--out PATH]";
+const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim|cache] [--no-dse] [--store DIR] [--daemon SOCKET]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]\n       pomc bench-poly [--iters N] [--out PATH] [--baseline PATH]\n       pomc bench-sim [--size N] [--out PATH]\n       pomc bench-serve [--size N] [--repeat N] [--clients N] [--out PATH]\n       pomc verify-all [--size N] [--sample-every K] [--out PATH]";
 
 fn bench_poly_main(args: &[String]) -> ! {
     let mut iters = 200usize;
@@ -248,6 +242,71 @@ fn bench_dse_main(args: &[String]) -> ! {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
+fn bench_serve_main(args: &[String]) -> ! {
+    let mut size = 32usize;
+    let mut repeat = 2usize;
+    let mut clients = 4usize;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size" => {
+                size = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--size expects a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--repeat" => {
+                repeat = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--repeat expects a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--clients" => {
+                clients = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--clients expects a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = bench_serve::run(&bench_serve::traffic(size, repeat), clients);
+    print!("{}", bench_serve::render(&report));
+    if let Err(e) = std::fs::write(&out, bench_serve::to_json(&report)) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+    let fails = bench_serve::gate(&report);
+    for f in &fails {
+        eprintln!("FAIL: {f}");
+    }
+    std::process::exit(if fails.is_empty() { 0 } else { 1 });
+}
+
 fn bench_sim_main(args: &[String]) -> ! {
     let mut size = 32usize;
     let mut out = "BENCH_sim.json".to_string();
@@ -306,12 +365,17 @@ fn main() {
     if kernel == "bench-sim" {
         bench_sim_main(&args[1..]);
     }
+    if kernel == "bench-serve" {
+        bench_serve_main(&args[1..]);
+    }
     if kernel == "verify-all" {
         verify_all_main(&args[1..]);
     }
     let mut size = 256usize;
     let mut emit = "report".to_string();
     let mut use_dse = true;
+    let mut store: Option<std::path::PathBuf> = None;
+    let mut daemon: Option<std::path::PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -336,9 +400,44 @@ fn main() {
                 use_dse = false;
                 i += 1;
             }
+            "--store" => {
+                store = args.get(i + 1).map(std::path::PathBuf::from);
+                if store.is_none() {
+                    eprintln!("--store expects a directory");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--daemon" => {
+                daemon = args.get(i + 1).map(std::path::PathBuf::from);
+                if daemon.is_none() {
+                    eprintln!("--daemon expects a socket path");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
             other => {
                 eprintln!("unknown flag {other}\n{USAGE}");
                 std::process::exit(2);
+            }
+        }
+    }
+
+    // Daemon mode: hand the request to a running pomd and print its
+    // serving payload (schedule + QoR + HLS C) — no local compile.
+    if let Some(socket) = daemon {
+        match pom_bench::serve::client_request(&socket, &format!("compile {kernel} {size}")) {
+            Ok(Ok(payload)) => {
+                print!("{payload}");
+                std::process::exit(0);
+            }
+            Ok(Err(msg)) => {
+                eprintln!("pomd: {msg}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("cannot reach pomd at {}: {e}", socket.display());
+                std::process::exit(1);
             }
         }
     }
@@ -353,6 +452,11 @@ fn main() {
         std::process::exit(2);
     }
 
+    if emit == "cache" && !use_dse {
+        eprintln!("--emit cache reports the DSE cache; it cannot be combined with --no-dse");
+        std::process::exit(2);
+    }
+
     let Some(f) = kernel_by_name(kernel, size) else {
         eprintln!("unknown kernel {kernel}\n{USAGE}");
         std::process::exit(2);
@@ -360,8 +464,12 @@ fn main() {
 
     let driver = Pom::new();
     let opts = CompileOptions::default();
+    let cfg = DseConfig {
+        store: store.clone(),
+        ..DseConfig::default()
+    };
     let dse = if use_dse {
-        match auto_dse(&f, &opts) {
+        match auto_dse_with(&f, &opts, &cfg) {
             Ok(r) => Some(r),
             Err(e) => {
                 eprintln!("DSE failed: {e}");
@@ -486,6 +594,48 @@ fn main() {
             }
             if sim_mem != interp_mem {
                 std::process::exit(1);
+            }
+        }
+        "cache" => {
+            let r = dse.as_ref().expect("--emit cache implies DSE");
+            let s = &r.stats;
+            let looked_up = s.cache_hits + s.cache_misses;
+            let rate = if looked_up > 0 {
+                s.cache_hits as f64 / looked_up as f64 * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "cache: {} hit(s), {} miss(es) ({rate:.0}% hit rate), {} eviction(s), {} live entr(ies)",
+                s.cache_hits, s.cache_misses, s.cache_evictions, s.cache_entries
+            );
+            match &store {
+                Some(root) => {
+                    println!(
+                        "store: {} hit(s), {} miss(es), {} write(s) this run",
+                        s.store_hits, s.store_misses, s.store_writes
+                    );
+                    // Re-open the shard to walk what is on disk now (the
+                    // search's own handle is gone with its cache).
+                    match ArtifactStore::open(root, &opts) {
+                        Ok(st) => {
+                            let usage = st.disk_usage();
+                            let entries: usize = usage.values().map(|v| v.0).sum();
+                            let bytes: u64 = usage.values().map(|v| v.1).sum();
+                            println!(
+                                "store-disk: {entries} artifact(s), {bytes} byte(s) in {}",
+                                st.shard_dir().display()
+                            );
+                            for (kind, (count, kbytes)) in usage {
+                                println!(
+                                    "store-kind {kind}: {count} artifact(s), {kbytes} byte(s)"
+                                );
+                            }
+                        }
+                        Err(e) => println!("store-disk: unavailable ({e})"),
+                    }
+                }
+                None => println!("store: none (pass --store DIR to persist the cache)"),
             }
         }
         other => unreachable!("--emit {other} was validated against EMIT_MODES"),

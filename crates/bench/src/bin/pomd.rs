@@ -1,0 +1,102 @@
+//! `pomd` — the POM compile daemon.
+//!
+//! A long-running compile service over a Unix domain socket: requests
+//! name a built-in kernel (or a `conv<ci>x<co>x<size>` DNN layer), the
+//! daemon runs the full two-stage DSE, and repeated or concurrent
+//! duplicates are answered from the shared cache / coalesced into one
+//! compile (batch admission). With `--store` the cache persists across
+//! daemon restarts and is shared with `pomc --store` processes.
+//!
+//! ```text
+//! pomd serve --socket PATH [--store DIR]
+//! pomd stats --socket PATH
+//! pomd shutdown --socket PATH
+//! ```
+//!
+//! Wire protocol and semantics: see `pom_bench::serve`.
+
+use pom_bench::serve;
+use pom_dse::{CompileOptions, DseConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: pomd serve --socket PATH [--store DIR]\n       pomd stats --socket PATH\n       pomd shutdown --socket PATH";
+
+fn parse_flags(args: &[String]) -> (Option<PathBuf>, Option<PathBuf>) {
+    let mut socket = None;
+    let mut store = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                socket = args.get(i + 1).map(PathBuf::from);
+                if socket.is_none() {
+                    eprintln!("--socket expects a path");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--store" => {
+                store = args.get(i + 1).map(PathBuf::from);
+                if store.is_none() {
+                    eprintln!("--store expects a directory");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    (socket, store)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(verb) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let (socket, store) = parse_flags(&args[1..]);
+    let Some(socket) = socket else {
+        eprintln!("--socket is required\n{USAGE}");
+        std::process::exit(2);
+    };
+    match verb {
+        "serve" => {
+            let engine = Arc::new(serve::ServeEngine::new(
+                CompileOptions::default(),
+                DseConfig::default(),
+                store.as_deref(),
+            ));
+            eprintln!("pomd: serving on {}", socket.display());
+            if let Err(e) = serve::run_server(engine, &socket) {
+                eprintln!("pomd: server error: {e}");
+                std::process::exit(1);
+            }
+        }
+        "stats" | "shutdown" => {
+            if store.is_some() {
+                eprintln!("--store only applies to serve\n{USAGE}");
+                std::process::exit(2);
+            }
+            match serve::client_request(&socket, verb) {
+                Ok(Ok(payload)) => print!("{payload}"),
+                Ok(Err(msg)) => {
+                    eprintln!("pomd: {msg}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("pomd: cannot reach daemon at {}: {e}", socket.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown command {other}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -205,6 +205,69 @@ fn repad(f: &mut Function, cur: &Placeholder, size: usize, name: &str) -> Placeh
     out
 }
 
+/// One standalone convolution layer `conv<ci>x<co>x<size>` — the unit of
+/// DNN traffic the serving layer replays. The function name is derived
+/// from the shape, so two layers with equal shapes are *exact* duplicates
+/// (equal plain fingerprints), while differently-shaped layers of the
+/// same network still merge under the canonical fingerprint's
+/// alpha-renaming only when structurally identical.
+pub fn conv_layer_kernel(ci: usize, co: usize, size: usize) -> Function {
+    let mut f = Function::new(format!("conv{ci}x{co}x{size}"));
+    let input = feature_input(&mut f, "input", ci, size);
+    let _ = conv_layer(&mut f, "conv", &input, ci, co, size);
+    f
+}
+
+/// The `(ci, co, spatial)` shapes of [`vgg16`]'s convolution layers in
+/// network order, for layer-stream traffic generation.
+pub fn vgg16_layer_shapes(scale: usize) -> Vec<(usize, usize, usize)> {
+    let plan: [(usize, usize); 13] = [
+        (4, 16),
+        (4, 16),
+        (8, 8),
+        (8, 8),
+        (16, 4),
+        (16, 4),
+        (16, 4),
+        (32, 2),
+        (32, 2),
+        (32, 2),
+        (32, 2),
+        (32, 2),
+        (32, 2),
+    ];
+    let mut ci = 3usize.max(scale);
+    let mut shapes = Vec::with_capacity(plan.len());
+    for &(co_base, sz_base) in &plan {
+        let co = co_base * scale;
+        shapes.push((ci, co, sz_base * scale));
+        ci = co;
+    }
+    shapes
+}
+
+/// The `(ci, co, spatial)` shapes of [`resnet18`]'s convolution layers in
+/// network order (initial conv + 4 stages x 2 blocks x 2 convs).
+pub fn resnet18_layer_shapes(scale: usize) -> Vec<(usize, usize, usize)> {
+    let c0 = 4 * scale;
+    let size0 = 8 * scale;
+    let mut shapes = vec![(3usize.max(scale), c0, size0)];
+    let mut ci = c0;
+    let mut size = size0;
+    for stage in 0..4 {
+        let co = c0 << stage.min(3);
+        for _block in 0..2 {
+            shapes.push((ci, co, size));
+            shapes.push((co, co, size));
+            ci = co;
+        }
+        if stage < 3 {
+            size = (size / 2).max(2);
+        }
+    }
+    shapes
+}
+
 /// Number of *critical loops* (nests deeper than four levels, plus the
 /// residual loops the paper counts) in a function — convolutions here.
 pub fn critical_loop_count(f: &Function) -> usize {
@@ -246,6 +309,20 @@ mod tests {
         // The layer chain forms one long path.
         let longest = g.data_paths().iter().map(Vec::len).max().unwrap();
         assert!(longest >= 13, "longest path {longest}");
+    }
+
+    #[test]
+    fn layer_shapes_match_the_networks() {
+        assert_eq!(vgg16_layer_shapes(1).len(), 13, "13 VGG-16 convs");
+        assert_eq!(resnet18_layer_shapes(1).len(), 17, "17 ResNet-18 convs");
+        // The streams are duplicate-heavy by construction: repeated
+        // shapes within each network are what the serving cache feeds on.
+        let shapes = vgg16_layer_shapes(1);
+        let unique: std::collections::HashSet<_> = shapes.iter().collect();
+        assert!(unique.len() < shapes.len(), "vgg16 repeats layer shapes");
+        let f = conv_layer_kernel(4, 16, 4);
+        assert_eq!(f.name(), "conv4x16x4");
+        assert_eq!(critical_loop_count(&f), 1);
     }
 
     #[test]

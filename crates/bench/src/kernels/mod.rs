@@ -4,7 +4,7 @@ pub mod dnn;
 pub mod image;
 pub mod polybench;
 
-pub use dnn::{resnet18, vgg16};
+pub use dnn::{conv_layer_kernel, resnet18, resnet18_layer_shapes, vgg16, vgg16_layer_shapes};
 pub use image::{blur, edge_detect, gaussian};
 pub use polybench::{
     atax, bicg, doitgen, gemm, gesummv, heat1d, jacobi1d, jacobi2d, mm2, mm3, mvt, seidel,

@@ -8,3 +8,4 @@
 
 pub mod experiments;
 pub mod kernels;
+pub mod serve;

@@ -59,8 +59,9 @@ pub use pom_sim as sim;
 pub use pom_verify as verify;
 
 pub use pom_dse::{
-    auto_dse, auto_dse_with, baselines, compile, lint_report, CompileError, CompileOptions,
-    Compiled, DseCache, DseConfig, DseResult, DseStats, GroupConfig,
+    auto_dse, auto_dse_with, auto_dse_with_cache, baselines, compile, fingerprint, lint_report,
+    ArtifactStore, CompileError, CompileOptions, Compiled, DseCache, DseConfig, DseResult,
+    DseStats, GroupConfig,
 };
 pub use pom_dsl::{
     reference_execute, ArrayData, Compute, DataType, Expr, Function, MemoryState, PartitionStyle,

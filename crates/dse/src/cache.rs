@@ -9,28 +9,84 @@
 //! threads of the parallel candidate evaluation. Entries are pure
 //! functions of their key (the fingerprint covers placeholders, computes,
 //! *and* the recorded schedule), so a racing double-compute writes the
-//! same value twice — correctness never depends on who wins.
+//! same value twice — correctness never depends on who wins. Locks use
+//! poisoned-lock recovery (`PoisonError::into_inner`): a panicked worker
+//! can at worst leave a *missing* entry behind, never a wrong one, so
+//! the daemon keeps serving instead of wedging.
+//!
+//! Capacity: each map is FIFO-bounded (default [`DEFAULT_CAPACITY`] per
+//! map) so a long-running daemon's memory stays flat under unbounded
+//! traffic; evictions are counted and surfaced through `DseStats`.
 //!
 //! A cache must not outlive the `CompileOptions` it was populated under:
 //! cached values depend on the cost model, device, and sharing policy.
-//! `auto_dse_with` therefore creates one cache per search.
+//! `auto_dse_with` therefore creates one cache per search, and the
+//! daemon's long-lived cache is pinned to one options set. Entries may
+//! outlive the *process*, though: fingerprints hash extents, dtypes, and
+//! the schedule via the platform-independent [`StableHasher`], and a
+//! cache opened with [`DseCache::with_store`] transparently spills and
+//! reloads entries through a shared on-disk
+//! [`ArtifactStore`](crate::store::ArtifactStore) whose shard hash pins
+//! the same options set.
 
 use crate::compile::{compile_timed, CompileError, CompileOptions, Compiled};
 use crate::stage2::GroupConfig;
+use crate::store::ArtifactStore;
 use pom_dsl::Function;
 use pom_hls::{DepSummary, ResourceUsage};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Default per-map capacity of a [`DseCache`] — large enough that a
+/// single search never evicts, small enough that a daemon's five maps
+/// stay bounded.
+pub const DEFAULT_CAPACITY: usize = 1 << 15;
+
+/// A 64-bit FNV-1a hasher: process-independent, platform-independent
+/// (for the byte streams we feed it), and stable across runs — unlike
+/// `DefaultHasher`, whose SipHash keys are unspecified and may change
+/// between executions. Cache keys that reach the persistent
+/// [`ArtifactStore`] must mean the same thing in every process that
+/// shares the store, so all fingerprints are computed with this.
+#[derive(Clone, Debug)]
+pub struct StableHasher(u64);
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// FNV-1a hash of any `Hash` value, for composite store keys.
+pub fn stable_hash<T: Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = StableHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
 
 /// Structural fingerprint of a function: placeholders, computes, and the
 /// recorded schedule, as rendered by the DSL's canonical `Display` form.
-/// Two functions with equal fingerprints lower to the same design.
+/// Two functions with equal fingerprints lower to the same design. Stable
+/// across processes (see [`StableHasher`]), so fingerprints double as
+/// persistent store keys.
 pub fn fingerprint(f: &Function) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = StableHasher::default();
     f.to_string().hash(&mut h);
     h.finish()
 }
@@ -49,8 +105,10 @@ pub fn fingerprint(f: &Function) -> u64 {
 /// element types verbatim (a renamed layer with different extents still
 /// misses), and only *declared* names are renamed — an unrecognized token
 /// stays literal, which can only cause a cache miss, never a false merge.
-/// Keys are comparable only under one placeholder environment, which the
-/// per-search cache lifetime guarantees.
+/// Because extents and dtypes are hashed verbatim, keys remain comparable
+/// across placeholder environments, processes, and store-sharing users —
+/// two layers merge only if their declarations agree byte-for-byte after
+/// renaming.
 pub fn canonical_fingerprint(f: &Function) -> u64 {
     let mut declared: std::collections::HashSet<&str> = std::collections::HashSet::new();
     declared.insert(f.name());
@@ -101,7 +159,7 @@ pub fn canonical_fingerprint(f: &Function) -> u64 {
 
     let text = f.to_string();
     let mut idx: HashMap<String, usize> = HashMap::new();
-    let mut h = DefaultHasher::new();
+    let mut h = StableHasher::default();
     // Pass 1 — compute + schedule lines assign canonical indices.
     // Pass 2 — placeholder declarations: referenced ones carry their
     // index, unreferenced ones keep extents/dtype but drop the name.
@@ -123,7 +181,7 @@ pub fn canonical_fingerprint(f: &Function) -> u64 {
     let mut decl_hashes: Vec<u64> = decls
         .into_iter()
         .map(|line| {
-            let mut dh = DefaultHasher::new();
+            let mut dh = StableHasher::default();
             hash_canon_line(line, &declared, false, &mut idx, &mut dh);
             dh.finish()
         })
@@ -142,7 +200,7 @@ fn hash_canon_line(
     declared: &std::collections::HashSet<&str>,
     assign: bool,
     idx: &mut HashMap<String, usize>,
-    h: &mut DefaultHasher,
+    h: &mut StableHasher,
 ) {
     let bytes = line.as_bytes();
     let mut i = 0;
@@ -204,37 +262,138 @@ impl PhaseAccum {
     }
 }
 
+/// Locks a mutex, recovering the data from a poisoned lock: cache values
+/// are pure functions of their keys and every insert is a single
+/// statement, so a panicking holder cannot leave a torn entry behind —
+/// at worst an absent one, which only costs a recompute.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A FIFO-bounded map: insertion-ordered eviction once `cap` is reached.
+/// FIFO (rather than LRU) keeps `get` contention-free — no order
+/// mutation on reads — and is good enough here because entries are
+/// equally cheap to recompute and traffic within one search is bursty,
+/// not scan-resistant.
+#[derive(Debug)]
+struct Bounded<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+    cap: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> Bounded<K, V> {
+    fn new(cap: usize) -> Self {
+        Bounded {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn get(&self, k: &K) -> Option<&V> {
+        self.map.get(k)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Inserts, returning how many old entries were evicted (0 or 1; a
+    /// re-insert of a live key never grows the map, so never evicts).
+    fn insert(&mut self, k: K, v: V) -> usize {
+        if self.map.insert(k.clone(), v).is_none() {
+            self.order.push_back(k);
+        }
+        let mut evicted = 0;
+        while self.map.len() > self.cap {
+            match self.order.pop_front() {
+                Some(old) => {
+                    if self.map.remove(&old).is_some() {
+                        evicted += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+}
+
 /// The DSE compile/estimate cache (see module docs).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DseCache {
     /// `pipeline_infeasible` verdicts per scheduled-group canonical key.
-    infeasible: Mutex<HashMap<u64, bool>>,
+    infeasible: Mutex<Bounded<u64, bool>>,
     /// `(latency, resources)` of a group compiled as a sub-function,
     /// keyed by the scheduled sub-function's [`canonical_fingerprint`] —
     /// structurally identical groups (repeated DNN layers, symmetric
     /// matmuls) share entries.
-    group_qor: Mutex<HashMap<u64, (u64, ResourceUsage)>>,
+    group_qor: Mutex<Bounded<u64, (u64, ResourceUsage)>>,
     /// Per-group dependence-summary templates keyed by the *untiled*
     /// scheduled sub-function's plain [`fingerprint`] (names must match
     /// the group exactly, so no alpha-renaming here). `None` marks a
     /// group whose template is unsafe to reuse — its candidates fall
     /// back to full per-candidate dependence analysis.
-    dep_templates: Mutex<HashMap<u64, Option<Arc<DepSummary>>>>,
+    dep_templates: Mutex<Bounded<u64, Option<Arc<DepSummary>>>>,
     /// BRAM18K usage of the full schedule per (fingerprint, groups).
-    bram: Mutex<HashMap<(u64, Vec<GroupConfig>), u64>>,
+    bram: Mutex<Bounded<(u64, Vec<GroupConfig>), u64>>,
     /// Full-function compiles keyed by the *scheduled* fingerprint.
-    full: Mutex<HashMap<u64, Arc<Compiled>>>,
+    /// Memory-only: `Compiled` holds lowered IR with no parser, so it
+    /// cannot round-trip through the store — the serving layer persists
+    /// its *rendered* responses instead (`Kind::Full`).
+    full: Mutex<Bounded<u64, Arc<Compiled>>>,
+    /// Optional persistent spill/reload backing (see module docs).
+    store: Option<Arc<ArtifactStore>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl Default for DseCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
 }
 
 impl DseCache {
-    /// A fresh, empty cache.
+    /// A fresh, empty, memory-only cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Lookups answered from memory so far.
+    /// A fresh cache bounded to `cap` entries per map.
+    pub fn with_capacity(cap: usize) -> Self {
+        DseCache {
+            infeasible: Mutex::new(Bounded::new(cap)),
+            group_qor: Mutex::new(Bounded::new(cap)),
+            dep_templates: Mutex::new(Bounded::new(cap)),
+            bram: Mutex::new(Bounded::new(cap)),
+            full: Mutex::new(Bounded::new(cap)),
+            store: None,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        }
+    }
+
+    /// A cache backed by a persistent store: misses consult the store
+    /// before computing, and computed values are spilled to it. The store
+    /// shard must have been opened for the same `CompileOptions` this
+    /// cache serves (the shard hash enforces it).
+    pub fn with_store(store: Arc<ArtifactStore>) -> Self {
+        DseCache {
+            store: Some(store),
+            ..Self::default()
+        }
+    }
+
+    /// The persistent backing store, if any.
+    pub fn store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref()
+    }
+
+    /// Lookups answered without computing — from memory or the store.
     pub fn hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
     }
@@ -242,6 +401,20 @@ impl DseCache {
     /// Lookups that had to compute their value.
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by capacity eviction, across all maps.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Live in-memory entries, across all maps.
+    pub fn entries(&self) -> usize {
+        locked(&self.infeasible).len()
+            + locked(&self.group_qor).len()
+            + locked(&self.dep_templates).len()
+            + locked(&self.bram).len()
+            + locked(&self.full).len()
     }
 
     fn record(&self, hit: bool) {
@@ -252,16 +425,32 @@ impl DseCache {
         }
     }
 
+    fn evicted(&self, n: usize) {
+        if n > 0 {
+            self.evictions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Memoized pipeline-II feasibility verdict for one scheduled group,
     /// keyed by its [`canonical_fingerprint`].
     pub fn memo_infeasible(&self, key: u64, compute: impl FnOnce() -> bool) -> bool {
-        if let Some(&v) = self.infeasible.lock().expect("lock").get(&key) {
+        if let Some(&v) = locked(&self.infeasible).get(&key) {
             self.record(true);
+            return v;
+        }
+        if let Some(v) = self.store.as_deref().and_then(|s| s.load_infeasible(key)) {
+            self.record(true);
+            let n = locked(&self.infeasible).insert(key, v);
+            self.evicted(n);
             return v;
         }
         let v = compute();
         self.record(false);
-        self.infeasible.lock().expect("lock").insert(key, v);
+        let n = locked(&self.infeasible).insert(key, v);
+        self.evicted(n);
+        if let Some(s) = self.store.as_deref() {
+            s.save_infeasible(key, v);
+        }
         v
     }
 
@@ -273,13 +462,23 @@ impl DseCache {
         key: u64,
         compute: impl FnOnce() -> Result<(u64, ResourceUsage), CompileError>,
     ) -> Result<(u64, ResourceUsage), CompileError> {
-        if let Some(&v) = self.group_qor.lock().expect("lock").get(&key) {
+        if let Some(&v) = locked(&self.group_qor).get(&key) {
             self.record(true);
+            return Ok(v);
+        }
+        if let Some(v) = self.store.as_deref().and_then(|s| s.load_group_qor(key)) {
+            self.record(true);
+            let n = locked(&self.group_qor).insert(key, v);
+            self.evicted(n);
             return Ok(v);
         }
         let v = compute()?;
         self.record(false);
-        self.group_qor.lock().expect("lock").insert(key, v);
+        let n = locked(&self.group_qor).insert(key, v);
+        self.evicted(n);
+        if let Some(s) = self.store.as_deref() {
+            s.save_group_qor(key, v.0, &v.1);
+        }
         Ok(v)
     }
 
@@ -287,35 +486,57 @@ impl DseCache {
     /// plain [`fingerprint`] of its *untiled* scheduled sub-function.
     /// `compute` returns `None` when the template cannot soundly stand in
     /// for the tiled candidates' summaries (see `dep_template` in
-    /// `stage2`); the verdict itself is memoized either way. Template
-    /// traffic is deliberately not counted in `hits`/`misses` — those
-    /// report candidate-level memoization only.
+    /// `stage2`); the verdict itself is memoized either way — including
+    /// through the store, where the persisted `none` saves the failed
+    /// reuse probe, not just the successful analysis. Template traffic is
+    /// deliberately not counted in `hits`/`misses` — those report
+    /// candidate-level memoization only.
     pub fn memo_dep_template(
         &self,
         key: u64,
         compute: impl FnOnce() -> Option<DepSummary>,
     ) -> Option<Arc<DepSummary>> {
-        if let Some(t) = self.dep_templates.lock().expect("lock").get(&key) {
+        if let Some(t) = locked(&self.dep_templates).get(&key) {
             return t.clone();
         }
+        if let Some(t) = self.store.as_deref().and_then(|s| s.load_dep_template(key)) {
+            let t = t.map(Arc::new);
+            let n = locked(&self.dep_templates).insert(key, t.clone());
+            self.evicted(n);
+            return t;
+        }
         let t = compute().map(Arc::new);
-        self.dep_templates
-            .lock()
-            .expect("lock")
-            .insert(key, t.clone());
+        let n = locked(&self.dep_templates).insert(key, t.clone());
+        self.evicted(n);
+        if let Some(s) = self.store.as_deref() {
+            s.save_dep_template(key, t.as_deref());
+        }
         t
     }
 
     /// Memoized BRAM18K usage of the full schedule under `groups`.
     pub fn memo_bram(&self, fp: u64, groups: &[GroupConfig], compute: impl FnOnce() -> u64) -> u64 {
         let key = (fp, groups.to_vec());
-        if let Some(&v) = self.bram.lock().expect("lock").get(&key) {
+        if let Some(&v) = locked(&self.bram).get(&key) {
             self.record(true);
+            return v;
+        }
+        // The persistent key folds the composite key down to 64 bits with
+        // the same stable hash the fingerprints use.
+        let skey = stable_hash(&key);
+        if let Some(v) = self.store.as_deref().and_then(|s| s.load_bram(skey)) {
+            self.record(true);
+            let n = locked(&self.bram).insert(key, v);
+            self.evicted(n);
             return v;
         }
         let v = compute();
         self.record(false);
-        self.bram.lock().expect("lock").insert(key, v);
+        let n = locked(&self.bram).insert(key, v);
+        self.evicted(n);
+        if let Some(s) = self.store.as_deref() {
+            s.save_bram(skey, v);
+        }
         v
     }
 
@@ -337,7 +558,7 @@ impl DseCache {
         deps: Option<&DepSummary>,
     ) -> Result<Arc<Compiled>, CompileError> {
         let fp = fingerprint(f);
-        if let Some(c) = self.full.lock().expect("lock").get(&fp) {
+        if let Some(c) = locked(&self.full).get(&fp) {
             self.record(true);
             return Ok(Arc::clone(c));
         }
@@ -355,7 +576,8 @@ impl DseCache {
         acc.add(&times);
         self.record(false);
         let c = Arc::new(c);
-        self.full.lock().expect("lock").insert(fp, Arc::clone(&c));
+        let n = locked(&self.full).insert(fp, Arc::clone(&c));
+        self.evicted(n);
         Ok(c)
     }
 }
@@ -390,6 +612,18 @@ mod tests {
     }
 
     #[test]
+    fn stable_hasher_is_process_independent() {
+        // FNV-1a reference vectors — if these hold, keys persisted by one
+        // process mean the same thing in every other.
+        let mut h = StableHasher::default();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325, "offset basis");
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let f = tiny();
+        assert_eq!(fingerprint(&f), fingerprint(&f.clone()));
+    }
+
+    #[test]
     fn full_compile_is_memoized() {
         let cache = DseCache::new();
         let acc = PhaseAccum::default();
@@ -416,6 +650,81 @@ mod tests {
         }
         assert_eq!(calls, 1);
         assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_fifo() {
+        let cache = DseCache::with_capacity(2);
+        for key in 0..3u64 {
+            cache.memo_infeasible(key, || false);
+        }
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.entries(), 2);
+        // Key 0 was evicted (oldest); recomputing it is a miss.
+        let mut recomputed = false;
+        cache.memo_infeasible(0, || {
+            recomputed = true;
+            false
+        });
+        assert!(recomputed, "FIFO evicts the oldest entry");
+        // Key 2 survived.
+        cache.memo_infeasible(2, || panic!("key 2 must still be cached"));
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let mut b: Bounded<u64, u64> = Bounded::new(2);
+        assert_eq!(b.insert(1, 10), 0);
+        assert_eq!(b.insert(2, 20), 0);
+        assert_eq!(b.insert(1, 11), 0, "re-insert of a live key is free");
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let cache = Arc::new(DseCache::new());
+        let c2 = Arc::clone(&cache);
+        // Poison the infeasible map's mutex by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _guard = c2.infeasible.lock().expect("first lock");
+            panic!("poison the lock");
+        })
+        .join();
+        // The cache must keep serving: this is the daemon-survival path.
+        let v = cache.memo_infeasible(3, || true);
+        assert!(v);
+        assert!(cache.memo_infeasible(3, || panic!("must be cached")));
+    }
+
+    #[test]
+    fn store_backed_cache_reloads_across_instances() {
+        let root = std::env::temp_dir().join(format!("pom-cache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let opts = CompileOptions::default();
+        let store = Arc::new(ArtifactStore::open(&root, &opts).expect("opens"));
+        let a = DseCache::with_store(Arc::clone(&store));
+        a.memo_infeasible(1, || true);
+        assert_eq!(
+            a.memo_group_qor(2, || Ok((9, ResourceUsage::default())))
+                .expect("qor")
+                .0,
+            9
+        );
+        a.memo_bram(3, &[], || 5);
+        // A *fresh* cache over the same store answers without computing.
+        let b = DseCache::with_store(store);
+        assert!(b.memo_infeasible(1, || panic!("served from store")));
+        assert_eq!(
+            b.memo_group_qor(2, || panic!("served from store"))
+                .expect("qor")
+                .0,
+            9
+        );
+        assert_eq!(b.memo_bram(3, &[], || panic!("served from store")), 5);
+        assert_eq!(b.hits(), 3);
+        assert_eq!(b.misses(), 0);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     /// Builds a 2-statement function; `first` selects which statement is

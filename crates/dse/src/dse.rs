@@ -71,6 +71,12 @@ pub fn auto_dse(f: &Function, opts: &CompileOptions) -> Result<DseResult, Compil
 /// lets designers pre-define the groups of strategies and parameters the
 /// search may use).
 ///
+/// When `cfg.store` names a directory, the per-search cache is backed by
+/// the persistent [`ArtifactStore`](crate::store::ArtifactStore) shard
+/// for `opts`, so structurally repeated work hits across processes. A
+/// store that fails to open degrades to memory-only caching — the store
+/// is an accelerator, never a correctness dependency.
+///
 /// # Errors
 ///
 /// Same failure modes as [`auto_dse`].
@@ -79,31 +85,59 @@ pub fn auto_dse_with(
     opts: &CompileOptions,
     cfg: &DseConfig,
 ) -> Result<DseResult, CompileError> {
+    let cache = cfg.cache.then(|| match &cfg.store {
+        Some(root) => match crate::store::ArtifactStore::open(root, opts) {
+            Ok(s) => DseCache::with_store(std::sync::Arc::new(s)),
+            Err(_) => DseCache::new(),
+        },
+        None => DseCache::new(),
+    });
+    auto_dse_impl(f, opts, cfg, cache.as_ref())
+}
+
+/// [`auto_dse_with`] over a caller-owned cache: the daemon keeps one
+/// store-backed [`DseCache`] alive across requests, so repeated kernels
+/// hit in memory without ever reopening the store shard. The cache must
+/// have been created for (a store shard pinned to) the same `opts`.
+///
+/// # Errors
+///
+/// Same failure modes as [`auto_dse`].
+pub fn auto_dse_with_cache(
+    f: &Function,
+    opts: &CompileOptions,
+    cfg: &DseConfig,
+    cache: &DseCache,
+) -> Result<DseResult, CompileError> {
+    auto_dse_impl(f, opts, cfg, Some(cache))
+}
+
+fn auto_dse_impl(
+    f: &Function,
+    opts: &CompileOptions,
+    cfg: &DseConfig,
+    cache: Option<&DseCache>,
+) -> Result<DseResult, CompileError> {
     let start = Instant::now();
     let poly_before = pom_poly::PolyStats::snapshot();
-    let cache = cfg.cache.then(DseCache::new);
+    // Counter snapshots: a daemon-shared cache accumulates across
+    // requests, so this search's stats are deltas, not absolutes.
+    let snap = cache.map(CacheSnapshot::take);
     let acc = PhaseAccum::default();
     let t1 = Instant::now();
     let stage1 = dependence_aware_transform(f, cfg.stage1_max_iters);
     let stage1_time = t1.elapsed();
-    let s2 = bottleneck_optimize_impl(&stage1, opts, cfg, cache.as_ref(), &acc)?;
+    let s2 = bottleneck_optimize_impl(&stage1, opts, cfg, cache, &acc)?;
     let mut scheduled = s2.function;
     let mut groups = s2.groups;
     let mut stats = s2.stats;
     // The final compiles can reuse the search's full-function dependence
     // template: a pipeline-II retarget never changes the dependences.
-    let mut full_template = cache
-        .as_ref()
-        .and_then(|c| crate::stage2::full_dep_template(&stage1, &groups, c, opts, &acc));
+    let mut full_template =
+        cache.and_then(|c| crate::stage2::full_dep_template(&stage1, &groups, c, opts, &acc));
     // The repair loop's fitting compile is still in the cache, so this
     // lookup answers without recompiling the same schedule.
-    let mut compiled = full_compile(
-        cache.as_ref(),
-        &scheduled,
-        opts,
-        &acc,
-        full_template.as_deref(),
-    )?;
+    let mut compiled = full_compile(cache, &scheduled, opts, &acc, full_template.as_deref())?;
     // Optional simulator re-rank: measure the default winner and the
     // trailing accepted schedules of the greedy descent with pom-sim and
     // keep the fewest simulated cycles. Strict improvement is required,
@@ -127,7 +161,7 @@ pub fn auto_dse_with(
                 continue;
             }
             let cand = crate::stage2::schedule_for(&stage1, g);
-            let c = full_compile(cache.as_ref(), &cand, opts, &acc, None)?;
+            let c = full_compile(cache, &cand, opts, &acc, None)?;
             let r = measure(&c);
             stats.sim_reranked += 1;
             if r.cycles < report.cycles {
@@ -142,7 +176,6 @@ pub fn auto_dse_with(
             // The dependence template was built for the default groups;
             // rebuild it so the retarget recompile below stays sound.
             full_template = cache
-                .as_ref()
                 .and_then(|c| crate::stage2::full_dep_template(&stage1, &groups, c, opts, &acc));
         }
         stats.sim_cycles = report.cycles;
@@ -164,13 +197,7 @@ pub fn auto_dse_with(
     if retargeted {
         // A genuine retarget changes the schedule's fingerprint, so this
         // compiles at most once; a re-run over a warm cache answers here.
-        compiled = full_compile(
-            cache.as_ref(),
-            &scheduled,
-            opts,
-            &acc,
-            full_template.as_deref(),
-        )?;
+        compiled = full_compile(cache, &scheduled, opts, &acc, full_template.as_deref())?;
     }
     // Winner validation: the returned schedule carries a full certificate
     // chain — every transformation primitive is replayed through the
@@ -193,9 +220,16 @@ pub fn auto_dse_with(
     stats.stage1_time = stage1_time;
     stats.lowering_time = acc.lowering();
     stats.estimation_time = acc.estimation();
-    if let Some(c) = &cache {
-        stats.cache_hits = c.hits();
-        stats.cache_misses = c.misses();
+    if let (Some(c), Some(s0)) = (cache, snap) {
+        stats.cache_hits = c.hits() - s0.hits;
+        stats.cache_misses = c.misses() - s0.misses;
+        stats.cache_evictions = c.evictions() - s0.evictions;
+        stats.cache_entries = c.entries();
+        if let Some(s) = c.store() {
+            stats.store_hits = s.hits() - s0.store_hits;
+            stats.store_misses = s.misses() - s0.store_misses;
+            stats.store_writes = s.writes() - s0.store_writes;
+        }
     }
     Ok(DseResult {
         function: scheduled,
@@ -204,6 +238,34 @@ pub fn auto_dse_with(
         stats,
         dse_time,
     })
+}
+
+/// Counter baseline taken at search start, so a long-lived shared cache
+/// reports per-search deltas in `DseStats`.
+struct CacheSnapshot {
+    hits: usize,
+    misses: usize,
+    evictions: usize,
+    store_hits: usize,
+    store_misses: usize,
+    store_writes: usize,
+}
+
+impl CacheSnapshot {
+    fn take(c: &DseCache) -> CacheSnapshot {
+        let (store_hits, store_misses, store_writes) = match c.store() {
+            Some(s) => (s.hits(), s.misses(), s.writes()),
+            None => (0, 0, 0),
+        };
+        CacheSnapshot {
+            hits: c.hits(),
+            misses: c.misses(),
+            evictions: c.evictions(),
+            store_hits,
+            store_misses,
+            store_writes,
+        }
+    }
 }
 
 /// Full-function compile through the cache when one is active.

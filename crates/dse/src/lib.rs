@@ -21,13 +21,17 @@ pub mod compile;
 pub mod dse;
 pub mod stage1;
 pub mod stage2;
+pub mod store;
 
 pub use baselines::{pluto_like, polsca_like, scalehls_like, unoptimized, BaselineResult};
-pub use cache::{canonical_fingerprint, fingerprint, DseCache, PhaseAccum};
+pub use cache::{
+    canonical_fingerprint, fingerprint, stable_hash, DseCache, PhaseAccum, StableHasher,
+};
 pub use compile::{compile, compile_timed, lint_report, CompileError, CompileOptions, Compiled};
-pub use dse::{auto_dse, auto_dse_with, DseResult};
+pub use dse::{auto_dse, auto_dse_with, auto_dse_with_cache, DseResult};
 pub use stage1::dependence_aware_transform;
 pub use stage2::{
     bottleneck_optimize, bottleneck_optimize_with, try_bottleneck_optimize_with, DseConfig,
     DseStats, GroupConfig, Stage2Result,
 };
+pub use store::ArtifactStore;

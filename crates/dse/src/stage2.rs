@@ -39,10 +39,22 @@ pub struct DseStats {
     pub bank_repaired: usize,
     /// Escalation candidates that were fully estimated.
     pub estimated: usize,
-    /// Compile/estimate cache lookups answered from memory.
+    /// Compile/estimate cache lookups answered without computing (from
+    /// memory or the persistent store).
     pub cache_hits: usize,
     /// Cache lookups that had to compute their value.
     pub cache_misses: usize,
+    /// In-memory cache entries dropped by capacity eviction.
+    pub cache_evictions: usize,
+    /// Live in-memory cache entries at search end, across all maps.
+    pub cache_entries: usize,
+    /// Lookups answered from the persistent artifact store (a subset of
+    /// `cache_hits`; 0 without [`DseConfig::store`]).
+    pub store_hits: usize,
+    /// Store lookups that found no valid artifact before computing.
+    pub store_misses: usize,
+    /// Artifacts spilled to the persistent store by this search.
+    pub store_writes: usize,
     /// Candidates evaluated inside a concurrent batch (0 when the search
     /// ran serially).
     pub parallel_evaluated: usize,
@@ -164,6 +176,13 @@ pub struct DseConfig {
     /// the post-retarget recompile share one cache). Off reproduces the
     /// seed's cost profile — every step pays the full pipeline again.
     pub cache: bool,
+    /// Root directory of a persistent artifact store backing the cache
+    /// (see `pom_dse::store`): misses consult the matching store shard
+    /// before computing and computed entries are spilled for later
+    /// processes. `None` (the default) keeps the cache memory-only.
+    /// Ignored when [`DseConfig::cache`] is off; a store that fails to
+    /// open degrades to memory-only caching.
+    pub store: Option<std::path::PathBuf>,
     /// Worker threads for candidate evaluation: `0` = one per available
     /// core, `1` = serial. Parallel and serial searches produce
     /// byte-identical schedules (ties break by candidate index).
@@ -196,6 +215,7 @@ impl Default for DseConfig {
             bank_prune: false,
             bank_repair: true,
             cache: true,
+            store: None,
             workers: 0,
             validate_winner: true,
             validate_sample_every: 0,
@@ -1169,6 +1189,13 @@ pub(crate) fn bottleneck_optimize_impl(
     if let Some(c) = cache {
         dse_stats.cache_hits = c.hits();
         dse_stats.cache_misses = c.misses();
+        dse_stats.cache_evictions = c.evictions();
+        dse_stats.cache_entries = c.entries();
+        if let Some(s) = c.store() {
+            dse_stats.store_hits = s.hits();
+            dse_stats.store_misses = s.misses();
+            dse_stats.store_writes = s.writes();
+        }
     }
     dse_stats.lowering_time = acc.lowering();
     dse_stats.estimation_time = acc.estimation();

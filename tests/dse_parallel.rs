@@ -94,6 +94,50 @@ fn fast_mode_reports_cache_traffic_and_phase_times() {
     assert!(r.stats.stage2_time <= r.dse_time);
 }
 
+/// The persistent artifact store is the third performance knob: a search
+/// answered from a cold store, a search that populated it, and a search
+/// with no store at all must agree on every observable — across separate
+/// store handles, as separate daemon-style processes would use them.
+#[test]
+fn store_backed_search_equals_storeless_search() {
+    let root = std::env::temp_dir().join(format!("pom-dse-store-det-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let opts = paper_options();
+    let storeless = DseConfig::default();
+    let stored = DseConfig {
+        store: Some(root.clone()),
+        ..Default::default()
+    };
+    for f in kernel_suite() {
+        let a = auto_dse_with(&f, &opts, &storeless).expect("storeless DSE compiles");
+        let b = auto_dse_with(&f, &opts, &stored).expect("store-populating DSE compiles");
+        let c = auto_dse_with(&f, &opts, &stored).expect("store-warmed DSE compiles");
+        assert_eq!(
+            observable(&a),
+            observable(&b),
+            "{}: populating the store changed the search outcome",
+            f.name()
+        );
+        assert_eq!(
+            observable(&b),
+            observable(&c),
+            "{}: reading the store back changed the search outcome",
+            f.name()
+        );
+        assert!(
+            b.stats.store_writes > 0,
+            "{}: the first stored run spilled nothing",
+            f.name()
+        );
+        assert!(
+            c.stats.store_hits > 0,
+            "{}: the second stored run reloaded nothing",
+            f.name()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
