@@ -4,10 +4,11 @@
 //! the requested artefact:
 //!
 //! ```text
-//! pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim|cache]
-//!               [--no-dse] [--store DIR] [--daemon SOCKET]
+//! pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim|live|cache]
+//!               [--no-dse] [--store DIR] [--store-max-bytes BYTES] [--daemon SOCKET]
 //! pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]
 //! pomc bench-sim [--size N] [--out PATH]
+//! pomc bench-live [--size N] [--out PATH]
 //! pomc bench-serve [--size N] [--repeat N] [--clients N] [--out PATH]
 //! pomc verify-all [--size N] [--sample-every K] [--out PATH]
 //! ```
@@ -15,6 +16,9 @@
 //! `--store DIR` backs the DSE cache with the persistent artifact store
 //! rooted at `DIR` (shared across processes; see `pom_dse::store`), and
 //! `--emit cache` prints the cache + store statistics of the run.
+//! `--store-max-bytes BYTES` sweeps the store's shard down to the given
+//! disk budget on open, oldest artifacts first (skipped when another
+//! process holds the store open).
 //! `--daemon SOCKET` sends the request to a running `pomd` instead of
 //! compiling locally and prints the daemon's serving payload (schedule +
 //! QoR + HLS C); other emit modes don't apply over the daemon.
@@ -24,9 +28,19 @@
 //! `BENCH_serve.json`, and exits nonzero when the warm-vs-cold speedup,
 //! cross-process hit rate, or byte-identity gates fail.
 //!
-//! `--emit lint` runs the `pom-lint` diagnostics suite (POM001–POM006)
+//! `--emit lint` runs the `pom-lint` diagnostics suite (POM001–POM009)
 //! over the compiled design and exits nonzero when any error-severity
 //! diagnostic fires.
+//!
+//! `--emit live` runs `pom-live`'s whole-function liveness analysis over
+//! the compiled design: per-array live windows, contraction candidates
+//! (each replayed through its certificate on the spot), flow-depth rows,
+//! and dead stores. Exits nonzero on any dead store (POM008 is an error)
+//! or failed contraction replay. `bench-live` runs the liveness audit
+//! over the whole 14-kernel suite (seed + DSE schedules): every array's
+//! static live bound must dominate the simulator's measured per-array
+//! high-water occupancy, and every claimed contraction must replay
+//! bit-identically; measurements are written to `LIVE_report.json`.
 //!
 //! `--emit verify` replays the schedule through `pom-verify`'s
 //! translation validation and exits nonzero when any certificate is
@@ -54,15 +68,17 @@
 //! seidel, edge_detect, gaussian, blur, vgg16, resnet18.
 
 use pom::{auto_dse_with, baselines, ArtifactStore, CompileOptions, DseConfig, MemoryState, Pom};
-use pom_bench::experiments::{bench_dse, bench_poly, bench_serve, bench_sim, verify_suite};
+use pom_bench::experiments::{
+    bench_dse, bench_live, bench_poly, bench_serve, bench_sim, verify_suite,
+};
 use pom_bench::serve::kernel_by_name;
 
 /// The artefacts `--emit` can produce, validated before any compilation.
 const EMIT_MODES: &[&str] = &[
-    "dsl", "graph", "ir", "c", "tb", "report", "schedule", "lint", "verify", "sim", "cache",
+    "dsl", "graph", "ir", "c", "tb", "report", "schedule", "lint", "verify", "sim", "live", "cache",
 ];
 
-const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim|cache] [--no-dse] [--store DIR] [--daemon SOCKET]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]\n       pomc bench-poly [--iters N] [--out PATH] [--baseline PATH]\n       pomc bench-sim [--size N] [--out PATH]\n       pomc bench-serve [--size N] [--repeat N] [--clients N] [--out PATH]\n       pomc verify-all [--size N] [--sample-every K] [--out PATH]";
+const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim|live|cache] [--no-dse] [--store DIR] [--store-max-bytes BYTES] [--daemon SOCKET]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]\n       pomc bench-poly [--iters N] [--out PATH] [--baseline PATH]\n       pomc bench-sim [--size N] [--out PATH]\n       pomc bench-live [--size N] [--out PATH]\n       pomc bench-serve [--size N] [--repeat N] [--clients N] [--out PATH]\n       pomc verify-all [--size N] [--sample-every K] [--out PATH]";
 
 fn bench_poly_main(args: &[String]) -> ! {
     let mut iters = 200usize;
@@ -350,6 +366,49 @@ fn bench_sim_main(args: &[String]) -> ! {
     std::process::exit(if fails.is_empty() { 0 } else { 1 });
 }
 
+fn bench_live_main(args: &[String]) -> ! {
+    let mut size = 32usize;
+    let mut out = "LIVE_report.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size" => {
+                size = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--size expects a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = bench_live::run_suite(size);
+    print!("{}", bench_live::render(&report));
+    if let Err(e) = std::fs::write(&out, bench_live::to_json(&report)) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+    let fails = bench_live::gate(&report);
+    for f in &fails {
+        eprintln!("FAIL: {f}");
+    }
+    std::process::exit(if fails.is_empty() { 0 } else { 1 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(kernel) = args.first().filter(|a| !a.starts_with("--")) else {
@@ -358,6 +417,9 @@ fn main() {
     };
     if kernel == "bench-dse" {
         bench_dse_main(&args[1..]);
+    }
+    if kernel == "bench-live" {
+        bench_live_main(&args[1..]);
     }
     if kernel == "bench-poly" {
         bench_poly_main(&args[1..]);
@@ -375,6 +437,7 @@ fn main() {
     let mut emit = "report".to_string();
     let mut use_dse = true;
     let mut store: Option<std::path::PathBuf> = None;
+    let mut store_max_bytes: Option<u64> = None;
     let mut daemon: Option<std::path::PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
@@ -404,6 +467,14 @@ fn main() {
                 store = args.get(i + 1).map(std::path::PathBuf::from);
                 if store.is_none() {
                     eprintln!("--store expects a directory");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--store-max-bytes" => {
+                store_max_bytes = args.get(i + 1).and_then(|v| v.parse().ok());
+                if store_max_bytes.is_none() {
+                    eprintln!("--store-max-bytes expects a byte count");
                     std::process::exit(2);
                 }
                 i += 2;
@@ -466,6 +537,7 @@ fn main() {
     let opts = CompileOptions::default();
     let cfg = DseConfig {
         store: store.clone(),
+        store_max_bytes,
         ..DseConfig::default()
     };
     let dse = if use_dse {
@@ -593,6 +665,42 @@ fn main() {
                 }
             }
             if sim_mem != interp_mem {
+                std::process::exit(1);
+            }
+        }
+        "live" => {
+            let compiled = driver.compile(&scheduled);
+            let report = pom::live::analyze_func(&compiled.affine);
+            print!("{}", pom::live::render(&report));
+            // Replay every claimed contraction's certificate on the spot:
+            // the printed windows are never a static-only claim.
+            let contractible: Vec<_> = report.arrays.iter().filter(|a| a.contracted()).collect();
+            if !contractible.is_empty() {
+                let mem0 = pom::seeded_memory(&compiled.affine, 42);
+                for al in contractible {
+                    match pom::replay_contraction(&compiled.affine, &mem0, &al.array, &al.windows)
+                    {
+                        Ok(stores) => println!(
+                            "contraction `{}` -> [{}]: certificate passed ({stores} store(s) replayed)",
+                            al.array,
+                            al.windows
+                                .iter()
+                                .map(i64::to_string)
+                                .collect::<Vec<_>>()
+                                .join("x"),
+                        ),
+                        Err(e) => {
+                            eprintln!("contraction `{}` FAILED replay: {e}", al.array);
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
+            if !report.dead_stores.is_empty() {
+                eprintln!(
+                    "{} dead store(s) found (POM008 is error-severity)",
+                    report.dead_stores.len()
+                );
                 std::process::exit(1);
             }
         }

@@ -5,10 +5,13 @@
 //! daemon runs the full two-stage DSE, and repeated or concurrent
 //! duplicates are answered from the shared cache / coalesced into one
 //! compile (batch admission). With `--store` the cache persists across
-//! daemon restarts and is shared with `pomc --store` processes.
+//! daemon restarts and is shared with `pomc --store` processes;
+//! `--store-max-bytes` sweeps the store down to a byte budget (oldest
+//! artifacts first) when the daemon opens it, so `pomd stats` reports
+//! post-GC per-kind disk usage.
 //!
 //! ```text
-//! pomd serve --socket PATH [--store DIR]
+//! pomd serve --socket PATH [--store DIR] [--store-max-bytes BYTES]
 //! pomd stats --socket PATH
 //! pomd shutdown --socket PATH
 //! ```
@@ -20,26 +23,43 @@ use pom_dse::{CompileOptions, DseConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-const USAGE: &str = "usage: pomd serve --socket PATH [--store DIR]\n       pomd stats --socket PATH\n       pomd shutdown --socket PATH";
+const USAGE: &str = "usage: pomd serve --socket PATH [--store DIR] [--store-max-bytes BYTES]\n       pomd stats --socket PATH\n       pomd shutdown --socket PATH";
 
-fn parse_flags(args: &[String]) -> (Option<PathBuf>, Option<PathBuf>) {
-    let mut socket = None;
-    let mut store = None;
+struct Flags {
+    socket: Option<PathBuf>,
+    store: Option<PathBuf>,
+    store_max_bytes: Option<u64>,
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut flags = Flags {
+        socket: None,
+        store: None,
+        store_max_bytes: None,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--socket" => {
-                socket = args.get(i + 1).map(PathBuf::from);
-                if socket.is_none() {
+                flags.socket = args.get(i + 1).map(PathBuf::from);
+                if flags.socket.is_none() {
                     eprintln!("--socket expects a path");
                     std::process::exit(2);
                 }
                 i += 2;
             }
             "--store" => {
-                store = args.get(i + 1).map(PathBuf::from);
-                if store.is_none() {
+                flags.store = args.get(i + 1).map(PathBuf::from);
+                if flags.store.is_none() {
                     eprintln!("--store expects a directory");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--store-max-bytes" => {
+                flags.store_max_bytes = args.get(i + 1).and_then(|v| v.parse().ok());
+                if flags.store_max_bytes.is_none() {
+                    eprintln!("--store-max-bytes expects a byte count");
                     std::process::exit(2);
                 }
                 i += 2;
@@ -50,7 +70,7 @@ fn parse_flags(args: &[String]) -> (Option<PathBuf>, Option<PathBuf>) {
             }
         }
     }
-    (socket, store)
+    flags
 }
 
 fn main() {
@@ -59,16 +79,21 @@ fn main() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     };
-    let (socket, store) = parse_flags(&args[1..]);
-    let Some(socket) = socket else {
+    let flags = parse_flags(&args[1..]);
+    let Some(socket) = flags.socket else {
         eprintln!("--socket is required\n{USAGE}");
         std::process::exit(2);
     };
+    let store = flags.store;
     match verb {
         "serve" => {
+            let cfg = DseConfig {
+                store_max_bytes: flags.store_max_bytes,
+                ..DseConfig::default()
+            };
             let engine = Arc::new(serve::ServeEngine::new(
                 CompileOptions::default(),
-                DseConfig::default(),
+                cfg,
                 store.as_deref(),
             ));
             eprintln!("pomd: serving on {}", socket.display());
@@ -78,8 +103,8 @@ fn main() {
             }
         }
         "stats" | "shutdown" => {
-            if store.is_some() {
-                eprintln!("--store only applies to serve\n{USAGE}");
+            if store.is_some() || flags.store_max_bytes.is_some() {
+                eprintln!("--store/--store-max-bytes only apply to serve\n{USAGE}");
                 std::process::exit(2);
             }
             match serve::client_request(&socket, verb) {

@@ -1,0 +1,293 @@
+//! `bench-live` — the liveness/contraction differential audit harness.
+//!
+//! Runs the full 14-kernel suite (Table III + image + DNN) twice per
+//! kernel — seed schedule and auto-DSE winner — through `pom-live`'s
+//! whole-function liveness analysis, and audits every claim against the
+//! simulator:
+//!
+//! 1. **High-water cross-check** — for every array, the static bound on
+//!    simultaneously-live elements (`∏ windows`, or the declared size
+//!    when the analysis degrades to inexact) must be ≥ the simulator's
+//!    measured per-array live high-water ([`SimReport::occupancy`]
+//!    (pom::SimReport)). The two derive liveness independently (FM
+//!    projection vs per-element last-read intervals), so a violation
+//!    means one of them is wrong.
+//! 2. **Certificate replay** — every array the analysis claims
+//!    contractible must pass [`pom::replay_contraction`]: the whole
+//!    store stream replayed through the folded buffer bit-identically.
+//! 3. **Dead stores** — POM008 findings are reported per kernel; the
+//!    suite's kernels are expected to have none.
+//!
+//! Results render as a table and serialize as `LIVE_report.json` so the
+//! contraction coverage trajectory is tracked across PRs.
+
+use crate::experiments::bench_dse::pool_run;
+use crate::experiments::bench_sim::{suite, SIM_SEED};
+use crate::experiments::common::{paper_options, Table};
+use pom::{
+    auto_dse_with, compile, replay_contraction, seeded_memory, simulate, CompileOptions, Compiled,
+    DseConfig, Function, MemoryState,
+};
+use std::fmt::Write as _;
+
+/// One (kernel, schedule) liveness audit.
+#[derive(Clone, Debug)]
+pub struct KernelLive {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Which schedule ran: `"seed"` (recorded) or `"dse"` (auto winner).
+    pub schedule: &'static str,
+    /// Arrays analyzed.
+    pub arrays: usize,
+    /// Arrays with an exact (claim-backing) analysis.
+    pub exact: usize,
+    /// Arrays whose live window strictly beats their declared size.
+    pub contracted: usize,
+    /// Total declared storage bits across all arrays.
+    pub declared_bits: u64,
+    /// Total storage bits at contracted footprints (equal to
+    /// `declared_bits` when nothing contracts).
+    pub contracted_bits: u64,
+    /// Inter-statement flow edges (POM009 rows).
+    pub flow_edges: usize,
+    /// Dead stores found (POM008 rows) — expected 0 on the suite.
+    pub dead_stores: usize,
+    /// Arrays whose simulated live high-water exceeded the static bound
+    /// (must be 0 — the cross-check gate).
+    pub bound_violations: usize,
+    /// Contraction certificates whose replay failed (must be 0).
+    pub cert_failures: usize,
+    /// Contraction certificates replayed.
+    pub certs_replayed: usize,
+}
+
+/// The whole suite's audits.
+#[derive(Clone, Debug)]
+pub struct LiveBenchReport {
+    /// Two rows per kernel (seed, dse), in suite order.
+    pub rows: Vec<KernelLive>,
+    /// Problem size the suite ran at.
+    pub size: usize,
+    /// Worker threads used by the cross-kernel pool.
+    pub pool_workers: usize,
+}
+
+/// Audits one compiled design's liveness claims against the simulator.
+pub fn measure(
+    kernel: &'static str,
+    schedule: &'static str,
+    f: &Function,
+    compiled: &Compiled,
+    opts: &CompileOptions,
+) -> KernelLive {
+    let live = pom::live::analyze_func(&compiled.affine);
+    let mut sim_mem = MemoryState::for_function_seeded(f, SIM_SEED);
+    let report = simulate(&compiled.affine, &compiled.deps, &mut sim_mem, &opts.model);
+    let sim_hw = |array: &str| {
+        report
+            .occupancy
+            .iter()
+            .find(|o| o.array == array)
+            .map(|o| o.high_water)
+            .unwrap_or(0)
+    };
+    let mut row = KernelLive {
+        kernel,
+        schedule,
+        arrays: live.arrays.len(),
+        exact: live.arrays.iter().filter(|a| a.exact).count(),
+        contracted: live.arrays.iter().filter(|a| a.contracted()).count(),
+        declared_bits: live.arrays.iter().map(|a| a.declared_bits()).sum(),
+        contracted_bits: live.arrays.iter().map(|a| a.contracted_bits()).sum(),
+        flow_edges: live.depths.len(),
+        dead_stores: live.dead_stores.len(),
+        bound_violations: 0,
+        cert_failures: 0,
+        certs_replayed: 0,
+    };
+    // The static bound is ∏ windows (== declared cells when the
+    // analysis degrades to inexact or the array is write-only).
+    row.bound_violations = live
+        .arrays
+        .iter()
+        .filter(|al| sim_hw(&al.array) > al.high_water_cells)
+        .count();
+    let contractible: Vec<_> = live.arrays.iter().filter(|a| a.contracted()).collect();
+    if !contractible.is_empty() {
+        let mem0 = seeded_memory(&compiled.affine, SIM_SEED);
+        for al in contractible {
+            row.certs_replayed += 1;
+            if replay_contraction(&compiled.affine, &mem0, &al.array, &al.windows).is_err() {
+                row.cert_failures += 1;
+            }
+        }
+    }
+    row
+}
+
+/// Runs the suite at `size` and returns the full report.
+pub fn run_suite(size: usize) -> LiveBenchReport {
+    let opts = paper_options();
+    let suite = suite(size);
+    let cfg = DseConfig::default();
+    let pool_workers = cfg.effective_workers();
+    let rows: Vec<Vec<KernelLive>> = pool_run(suite.len(), pool_workers, |i| {
+        let (name, f) = &suite[i];
+        let seed = compile(f, &opts).expect("seed schedule compiles");
+        let dse = auto_dse_with(f, &opts, &cfg).expect("DSE compiles");
+        vec![
+            measure(name, "seed", f, &seed, &opts),
+            measure(name, "dse", &dse.function, &dse.compiled, &opts),
+        ]
+    });
+    LiveBenchReport {
+        rows: rows.into_iter().flatten().collect(),
+        size,
+        pool_workers,
+    }
+}
+
+/// The gate: no array's simulated high-water may exceed its static
+/// bound, and every claimed contraction must replay. Returns
+/// human-readable failures (empty = pass).
+pub fn gate(r: &LiveBenchReport) -> Vec<String> {
+    let mut fails = Vec::new();
+    for k in &r.rows {
+        if k.bound_violations > 0 {
+            fails.push(format!(
+                "{} ({}): {} array(s) simulated more live elements than the static bound",
+                k.kernel, k.schedule, k.bound_violations
+            ));
+        }
+        if k.cert_failures > 0 {
+            fails.push(format!(
+                "{} ({}): {} contraction certificate(s) failed replay",
+                k.kernel, k.schedule, k.cert_failures
+            ));
+        }
+    }
+    fails
+}
+
+/// Serializes the report as `LIVE_report.json` (hand-rolled, no deps).
+pub fn to_json(r: &LiveBenchReport) -> String {
+    let mut s = String::from("{\n  \"rows\": [\n");
+    for (i, k) in r.rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"kernel\": \"{}\", \"schedule\": \"{}\", \"arrays\": {}, \
+             \"exact\": {}, \"contracted\": {}, \"declared_bits\": {}, \
+             \"contracted_bits\": {}, \"flow_edges\": {}, \"dead_stores\": {}, \
+             \"bound_violations\": {}, \"certs_replayed\": {}, \"cert_failures\": {}}}",
+            k.kernel,
+            k.schedule,
+            k.arrays,
+            k.exact,
+            k.contracted,
+            k.declared_bits,
+            k.contracted_bits,
+            k.flow_edges,
+            k.dead_stores,
+            k.bound_violations,
+            k.certs_replayed,
+            k.cert_failures,
+        );
+        s.push_str(if i + 1 < r.rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        s,
+        "  ],\n  \"size\": {},\n  \"pool_workers\": {},\n  \"all_passed\": {}\n}}\n",
+        r.size,
+        r.pool_workers,
+        gate(r).is_empty(),
+    );
+    s
+}
+
+/// Renders the report as an aligned table (the human-readable view).
+pub fn render(r: &LiveBenchReport) -> String {
+    let mut t = Table::new(
+        "Liveness audit — static windows vs simulated high-water",
+        &[
+            "Kernel",
+            "Schedule",
+            "Arrays",
+            "Exact",
+            "Contracted",
+            "DeclaredKb",
+            "ContractedKb",
+            "Flows",
+            "Dead",
+            "Violations",
+            "Certs",
+        ],
+    );
+    for k in &r.rows {
+        t.row(&[
+            k.kernel.to_string(),
+            k.schedule.to_string(),
+            k.arrays.to_string(),
+            k.exact.to_string(),
+            k.contracted.to_string(),
+            format!("{:.1}", k.declared_bits as f64 / 8192.0),
+            format!("{:.1}", k.contracted_bits as f64 / 8192.0),
+            k.flow_edges.to_string(),
+            k.dead_stores.to_string(),
+            k.bound_violations.to_string(),
+            format!(
+                "{}/{}",
+                k.certs_replayed - k.cert_failures,
+                k.certs_replayed
+            ),
+        ]);
+    }
+    let mut out = t.render();
+    let declared: u64 = r.rows.iter().map(|k| k.declared_bits).sum();
+    let contracted: u64 = r.rows.iter().map(|k| k.contracted_bits).sum();
+    let _ = writeln!(
+        out,
+        "size {}: {} row(s), suite storage {:.1} KiB declared -> {:.1} KiB contracted, {} pool worker(s)",
+        r.size,
+        r.rows.len(),
+        declared as f64 / 8192.0,
+        contracted as f64 / 8192.0,
+        r.pool_workers
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    #[test]
+    fn jacobi1d_seed_row_contracts_and_passes_the_cross_check() {
+        // One stencil kernel keeps the debug-mode test fast; the full
+        // suite runs in release via `pomc bench-live`.
+        let opts = paper_options();
+        let f = kernels::jacobi1d(4, 18);
+        let compiled = compile(&f, &opts).expect("compiles");
+        let row = measure("jacobi1d", "seed", &f, &compiled, &opts);
+        assert_eq!(row.bound_violations, 0, "static bound below simulated");
+        assert_eq!(row.cert_failures, 0, "contraction failed replay");
+        assert!(
+            row.contracted >= 1,
+            "the time-expanded stencil buffer should contract"
+        );
+        assert!(row.contracted_bits < row.declared_bits);
+        assert_eq!(row.dead_stores, 0);
+        let report = LiveBenchReport {
+            rows: vec![row],
+            size: 18,
+            pool_workers: 1,
+        };
+        assert!(gate(&report).is_empty());
+        let json = to_json(&report);
+        assert!(json.contains("\"kernel\": \"jacobi1d\""));
+        assert!(json.contains("\"all_passed\": true"));
+        let text = render(&report);
+        assert!(text.contains("jacobi1d"));
+        assert!(text.contains("Contracted"));
+    }
+}

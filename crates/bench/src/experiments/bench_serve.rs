@@ -271,13 +271,32 @@ fn replay_daemon(
     )
 }
 
+/// Removes the scratch directory on every exit path — normal return,
+/// a gate failure that makes the caller `exit(1)`, or a panic partway
+/// through a replay. Without it a failed run leaves store directories
+/// behind under the system temp dir.
+struct ScratchGuard(std::path::PathBuf);
+
+impl Drop for ScratchGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
 /// Replays `stream` through all three configurations and assembles the
 /// report. Temp store directories and the daemon socket live under the
 /// system temp dir, keyed by PID, and are removed afterwards.
 pub fn run(stream: &[(String, usize)], clients: usize) -> ServeReport {
     let scratch = std::env::temp_dir().join(format!("pom-bench-serve-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&scratch);
-    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    run_in(&scratch, stream, clients)
+}
+
+/// [`run`] with an explicit scratch directory (tests give each replay
+/// its own so parallel tests never sweep each other's stores).
+fn run_in(scratch: &Path, stream: &[(String, usize)], clients: usize) -> ServeReport {
+    let _ = std::fs::remove_dir_all(scratch);
+    std::fs::create_dir_all(scratch).expect("scratch dir");
+    let _guard = ScratchGuard(scratch.to_path_buf());
     let warm_store = scratch.join("warm-store");
     let daemon_store = scratch.join("daemon-store");
     let socket = scratch.join("pomd.sock");
@@ -313,7 +332,7 @@ pub fn run(stream: &[(String, usize)], clients: usize) -> ServeReport {
     let (daemon, daemon_payloads) = replay_daemon(stream, &daemon_store, &socket, clients);
 
     let identical = cold_payloads == warm_payloads && cold_payloads == daemon_payloads;
-    let report = ServeReport {
+    ServeReport {
         unique_requests: unique.len(),
         total_requests: stream.len(),
         duplicate_fraction: 1.0 - unique.len() as f64 / stream.len().max(1) as f64,
@@ -323,9 +342,7 @@ pub fn run(stream: &[(String, usize)], clients: usize) -> ServeReport {
         identical,
         clients,
         rows: vec![cold, warm, daemon],
-    };
-    let _ = std::fs::remove_dir_all(&scratch);
-    report
+    }
 }
 
 /// Runs the standard traffic mix at `size`, repeated `repeat` times.
@@ -498,6 +515,25 @@ mod tests {
         assert!(json.contains("\"config\": \"daemon\""));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
         assert!(render(&report).contains("Kernels/s"));
+    }
+
+    #[test]
+    fn scratch_dir_is_removed_even_when_a_replay_panics() {
+        // An unknown kernel makes the cold replay panic mid-stream; the
+        // drop guard must still sweep the scratch directory so a failed
+        // `pomc bench-serve` never leaves store dirs behind.
+        let scratch =
+            std::env::temp_dir().join(format!("pom-bench-serve-panic-test-{}", std::process::id()));
+        let stream = vec![("no-such-kernel".to_string(), 8)];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_in(&scratch, &stream, 1)
+        }));
+        assert!(result.is_err(), "the unknown kernel must panic the replay");
+        assert!(
+            !scratch.exists(),
+            "scratch dir {} survived the panic",
+            scratch.display()
+        );
     }
 
     #[test]

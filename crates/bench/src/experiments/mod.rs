@@ -17,11 +17,13 @@
 //! | [`ext_dtypes`] | Extension — data-type customization (Table I capability) |
 //! | [`bench_dse`] | DSE perf harness — serial seed vs parallel + memoized |
 //! | [`bench_poly`] | Polyhedral kernel microbench — dense vs reference |
+//! | [`bench_live`] | Liveness audit — static windows vs simulated high-water |
 //! | [`bench_serve`] | Serving benchmark — cold vs warm store vs daemon |
 //! | [`bench_sim`] | Simulation audit — measured vs estimated cycles |
 //! | [`verify_suite`] | Certificate sweep — `pomc verify-all` over the suite |
 
 pub mod bench_dse;
+pub mod bench_live;
 pub mod bench_poly;
 pub mod bench_serve;
 pub mod bench_sim;

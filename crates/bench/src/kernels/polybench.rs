@@ -8,6 +8,7 @@
 //! staying a single affine compute.
 
 use pom_dsl::{DataType, Function};
+use pom_poly::LinearExpr;
 
 /// `GEMM`: `A[i][j] += B[i][k] * C[k][j]`, written as the paper's Fig. 4
 /// with the reduction loop `k` outermost.
@@ -152,12 +153,36 @@ pub fn mm3(n: usize) -> Function {
 
 /// `Jacobi-1d`: `B[t][i] = (B[t-1][i-1] + B[t-1][i] + B[t-1][i+1]) / 3`
 /// over `tsteps` time iterations (Fig. 16 of the paper).
+///
+/// The Dirichlet boundary columns are carried forward by the `sb0`/`sb1`
+/// propagation statements sharing the time loop, so every cell of row
+/// `t-1` is defined by the time row `t` is computed. That makes the
+/// time-expanded state a genuine two-row buffer: `pom-live` proves the
+/// `[2, n]` live window and certifies the contraction (POM007). The
+/// boundary statements precede `s` in program order, so every reachable
+/// schedule — fused (default), unfused by per-statement transforms, or
+/// sequential baselines — executes producers at or before consumers.
 pub fn jacobi1d(tsteps: usize, n: usize) -> Function {
+    let n_ = n as i64;
     let mut f = Function::new("jacobi1d");
     let t = f.var("t", 1, tsteps as i64);
-    let i = f.var("i", 1, n as i64 - 1);
+    let i = f.var("i", 1, n_ - 1);
     let b = f.placeholder("B", &[tsteps, n], DataType::F32);
     let tm1 = t.expr() - 1;
+    let zero = LinearExpr::constant_expr(0);
+    let last = LinearExpr::constant_expr(n_ - 1);
+    f.compute(
+        "sb0",
+        std::slice::from_ref(&t),
+        b.at(&[tm1.clone(), zero.clone()]),
+        b.access(&[t.expr(), zero]),
+    );
+    f.compute(
+        "sb1",
+        std::slice::from_ref(&t),
+        b.at(&[tm1.clone(), last.clone()]),
+        b.access(&[t.expr(), last]),
+    );
     let im1 = i.expr() - 1;
     let ip1 = i.expr() + 1;
     f.compute(
@@ -169,6 +194,8 @@ pub fn jacobi1d(tsteps: usize, n: usize) -> Function {
             / 3.0,
         b.access(&[&t, &i]),
     );
+    f.after("sb1", "sb0", "t");
+    f.after("s", "sb1", "t");
     f
 }
 
@@ -258,7 +285,7 @@ mod tests {
         assert_eq!(gesummv(32).computes().len(), 3);
         assert_eq!(mm2(32).computes().len(), 2);
         assert_eq!(mm3(32).computes().len(), 3);
-        assert_eq!(jacobi1d(8, 32).computes().len(), 1);
+        assert_eq!(jacobi1d(8, 32).computes().len(), 3);
         assert_eq!(jacobi2d(4, 16).computes().len(), 1);
         assert_eq!(heat1d(8, 32).computes().len(), 1);
         assert_eq!(seidel(16).computes().len(), 1);

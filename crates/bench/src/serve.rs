@@ -191,10 +191,18 @@ impl ServeEngine {
     /// An engine over `opts`/`cfg`, optionally backed by the persistent
     /// store rooted at `store`. A store that fails to open degrades to
     /// memory-only serving (the store accelerates, it never gates).
+    /// When `cfg.store_max_bytes` is set, the store is swept down to
+    /// that budget (oldest artifacts first) right after opening, so
+    /// `stats` reports post-GC disk usage.
     pub fn new(opts: CompileOptions, cfg: DseConfig, store: Option<&Path>) -> ServeEngine {
         let cache = match store {
             Some(root) => match ArtifactStore::open(root, &opts) {
-                Ok(s) => DseCache::with_store(Arc::new(s)),
+                Ok(s) => {
+                    if let Some(max) = cfg.store_max_bytes {
+                        let _ = s.gc(max);
+                    }
+                    DseCache::with_store(Arc::new(s))
+                }
                 Err(_) => DseCache::new(),
             },
             None => DseCache::new(),

@@ -46,6 +46,7 @@
 //! | DSE engine | [`pom_dse`] | two-stage automatic scheduling + baselines |
 //! | Validation | [`pom_verify`] | translation validation + dataflow analyses |
 //! | Bank analysis | [`pom_bank`] | polyhedral bank-conflict analysis |
+//! | Liveness analysis | [`pom_live`] | buffer liveness, contraction, flow depths |
 
 pub use pom_bank as bank;
 pub use pom_dse as dse;
@@ -54,6 +55,7 @@ pub use pom_graph as graph;
 pub use pom_hls as hls;
 pub use pom_ir as ir;
 pub use pom_lint as lint;
+pub use pom_live as live;
 pub use pom_poly as poly;
 pub use pom_sim as sim;
 pub use pom_verify as verify;
@@ -73,8 +75,13 @@ pub use pom_hls::{
 };
 pub use pom_ir::{execute_func, AffineFunc, PassManager};
 pub use pom_lint::{Diagnostic, LintCode, LintReport, Linter, Severity};
-pub use pom_sim::{simulate, LoopSim, SimReport};
-pub use pom_verify::{analyze_ranges, bank_report, narrowing_hints, validate, ValidationReport};
+pub use pom_live::{
+    analyze_func as analyze_liveness, replay_contraction, seeded_memory, ArrayLiveness, LiveReport,
+};
+pub use pom_sim::{simulate, ArrayOccupancy, LoopSim, SimReport};
+pub use pom_verify::{
+    analyze_ranges, bank_report, live_report, narrowing_hints, validate, ValidationReport,
+};
 
 /// The end-to-end POM driver: analysis, scheduling (user-specified or
 /// automatic), lowering, and HLS C generation.

@@ -94,6 +94,12 @@ pub struct DseStats {
     pub sim_port_conflicts: u64,
     /// Wall time spent inside the simulator during re-ranking.
     pub sim_time: Duration,
+    /// Arrays whose certificate-validated contraction reduced the
+    /// winner's BRAM figure ([`DseConfig::contract_buffers`]; 0 when
+    /// accounting at full footprints).
+    pub buffers_contracted: usize,
+    /// BRAM18K units reclaimed by contracted accounting.
+    pub bram_contracted: u64,
     /// Polyhedral-kernel counters (FM eliminations, fan-out combinations,
     /// projection-memo hits) accumulated across the whole search.
     pub poly: pom_poly::PolyStats,
@@ -183,6 +189,12 @@ pub struct DseConfig {
     /// Ignored when [`DseConfig::cache`] is off; a store that fails to
     /// open degrades to memory-only caching.
     pub store: Option<std::path::PathBuf>,
+    /// Disk budget for the artifact store, enforced by an
+    /// oldest-artifact-first sweep ([`ArtifactStore::gc`]
+    /// (crate::store::ArtifactStore::gc)) when the store is opened.
+    /// `None` (the default) never sweeps. A contended sweep (another
+    /// process holds the store open) is skipped, not fatal.
+    pub store_max_bytes: Option<u64>,
     /// Worker threads for candidate evaluation: `0` = one per available
     /// core, `1` = serial. Parallel and serial searches produce
     /// byte-identical schedules (ties break by candidate index).
@@ -203,6 +215,14 @@ pub struct DseConfig {
     /// estimator's winner, so enabling this never degrades the result
     /// under the simulator's own metric.
     pub sim_rerank_top_k: usize,
+    /// Account each array at its pom-live *contracted* footprint (the
+    /// live-window modulo fold) in the winner's BRAM figure, but only
+    /// for arrays whose contraction passes its replay certificate
+    /// ([`pom_live::replay_contraction`]). Off by default: the emitted
+    /// design still declares full-size arrays, so the reduced figure is
+    /// a claim about the storage a folding backend would need — POM007
+    /// reports the same opportunity as a lint warning regardless.
+    pub contract_buffers: bool,
 }
 
 impl Default for DseConfig {
@@ -216,10 +236,12 @@ impl Default for DseConfig {
             bank_repair: true,
             cache: true,
             store: None,
+            store_max_bytes: None,
             workers: 0,
             validate_winner: true,
             validate_sample_every: 0,
             sim_rerank_top_k: 0,
+            contract_buffers: false,
         }
     }
 }
@@ -345,7 +367,17 @@ pub fn plan_groups(f: &Function) -> Vec<GroupConfig> {
     }
     let mut groups = Vec::new();
     for (_, members) in by_order {
-        let rep = &stmts[members[0]];
+        // Representative: the *deepest* member (first on ties). Partially
+        // fused groups (statements sharing only an outer loop, e.g. a
+        // stencil's boundary-propagation statements riding the time loop)
+        // must be configured over the full nest, not the shallow member's.
+        let mut rep_idx = members[0];
+        for &m in &members[1..] {
+            if stmts[m].dims().len() > stmts[rep_idx].dims().len() {
+                rep_idx = m;
+            }
+        }
+        let rep = &stmts[rep_idx];
         let dims = rep.dims().to_vec();
         // Average extents with outer dims fixed at their midpoints, which
         // handles the non-rectangular domains produced by skewing.
@@ -356,11 +388,15 @@ pub fn plan_groups(f: &Function) -> Vec<GroupConfig> {
             env.insert(d.clone(), (lb + ub) / 2);
             extents.push((ub - lb + 1).max(1));
         }
-        // Parallel levels: parallel in every member.
+        // Parallel levels: parallel in every member that *has* the level
+        // (a shallower fused member does not iterate the deeper levels,
+        // so it cannot constrain them).
         let mut parallel: Vec<usize> = (0..dims.len()).collect();
         for &m in &members {
+            let depth = stmts[m].dims().len();
             let carried = carried_levels(f, &stmts, m);
-            parallel.retain(|&l| carried.get(l).map(|c| c.is_none()).unwrap_or(false));
+            parallel
+                .retain(|&l| l >= depth || carried.get(l).map(|c| c.is_none()).unwrap_or(false));
         }
         groups.push(GroupConfig {
             members: members
@@ -427,6 +463,16 @@ pub fn schedule_for(base: &Function, groups: &[GroupConfig]) -> Function {
     for p in g.placeholders() {
         partition_factors.insert(p.name().to_string(), vec![1; p.shape().len()]);
     }
+    // Per-member transformed dims: partially fused members may be
+    // shallower than the group's representative nest, and must only
+    // receive primitives for loops they actually have.
+    let base_stmts = apply_schedule(base);
+    let member_dims: HashMap<String, Vec<String>> = base
+        .computes()
+        .iter()
+        .zip(&base_stmts)
+        .map(|(c, s)| (c.name().to_string(), s.dims().to_vec()))
+        .collect();
 
     for (gi, group) in groups.iter().enumerate() {
         // Names: outer part "{dim}_g{gi}o", inner "{dim}_g{gi}u" — the
@@ -460,15 +506,23 @@ pub fn schedule_for(base: &Function, groups: &[GroupConfig]) -> Function {
         }
 
         for member in &group.members {
-            // Splits.
+            let mine = &member_dims[member];
+            let has = |d: &str| mine.iter().any(|x| x == d);
+            // Splits (only of loops this member has).
             for &l in &tiled {
                 let d = &group.dims[l];
-                g.split(member, d, group.tiles[l], &outer_name(d), &inner_name(d));
+                if has(d) {
+                    g.split(member, d, group.tiles[l], &outer_name(d), &inner_name(d));
+                }
             }
             // Reorder to final order by recording bubble-sort interchanges
-            // over the simulated current order.
+            // over the simulated current order, restricted to this
+            // member's loops.
             let mut cur: Vec<String> = Vec::new();
             for (l, d) in group.dims.iter().enumerate() {
+                if !has(d) {
+                    continue;
+                }
                 if tiled.contains(&l) {
                     cur.push(outer_name(d));
                     cur.push(inner_name(d));
@@ -476,7 +530,8 @@ pub fn schedule_for(base: &Function, groups: &[GroupConfig]) -> Function {
                     cur.push(d.clone());
                 }
             }
-            for (target_pos, target) in final_order.iter().enumerate() {
+            let targets: Vec<&String> = final_order.iter().filter(|n| cur.contains(n)).collect();
+            for (target_pos, target) in targets.into_iter().enumerate() {
                 let from_pos = cur.iter().position(|x| x == target).expect("name tracked");
                 let mut p = from_pos;
                 while p > target_pos {
@@ -487,12 +542,21 @@ pub fn schedule_for(base: &Function, groups: &[GroupConfig]) -> Function {
             }
         }
 
-        // Pipeline the innermost non-unrolled loop; unroll intra-tile loops.
-        let first = &group.members[0];
+        // Pipeline the innermost non-unrolled loop and unroll intra-tile
+        // loops — on the *deepest* member (first on ties): a shallow fused
+        // member's innermost loop is a loop it shares with deeper members,
+        // and pipelining that shared loop would flatten everything below
+        // it in every fused statement.
+        let mut deepest = &group.members[0];
+        for member in &group.members[1..] {
+            if member_dims[member].len() > member_dims[deepest].len() {
+                deepest = member;
+            }
+        }
         let pipeline_iv = final_order[group.dims.len() - 1].clone();
-        g.pipeline(first, &pipeline_iv, 1);
+        g.pipeline(deepest, &pipeline_iv, 1);
         for &l in &tiled {
-            g.unroll(first, &inner_name(&group.dims[l]), group.tiles[l]);
+            g.unroll(deepest, &inner_name(&group.dims[l]), group.tiles[l]);
         }
 
         // Partition factors: for every member access, each array dimension
@@ -1262,8 +1326,7 @@ fn bram_of(f: &Function) -> u64 {
     for p in f.placeholders() {
         let b = banks.get(p.name()).copied().unwrap_or(1);
         let bits = p.shape().iter().product::<usize>() as u64 * p.dtype().bits() as u64;
-        let per_bank_bits = bits.div_ceil(b);
-        bram += b * per_bank_bits.div_ceil(18 * 1024).max(1);
+        bram += pom_hls::bram18k_units(bits, b);
     }
     bram
 }

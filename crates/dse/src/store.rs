@@ -310,6 +310,59 @@ impl ArtifactStore {
         result
     }
 
+    /// Sweeps the shard down to at most `max_bytes` of artifact payload,
+    /// deleting oldest-modified artifacts first (the cache's natural
+    /// notion of "least recently useful": artifacts are rewritten on
+    /// save, never touched on load, so mtime orders by write recency).
+    /// Returns the number of artifacts removed.
+    ///
+    /// Like [`ArtifactStore::clear`], this requires the *exclusive*
+    /// advisory lock, so a sweep can never delete entries out from under
+    /// a live reader in another process.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` when another handle holds the store open — callers
+    /// treat a contended GC as "skip this time", never as fatal; other
+    /// filesystem errors verbatim.
+    pub fn gc(&self, max_bytes: u64) -> io::Result<usize> {
+        self._lock.try_lock().map_err(|e| match e {
+            std::fs::TryLockError::WouldBlock => io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "store is open elsewhere (shared lock held)",
+            ),
+            std::fs::TryLockError::Error(e) => e,
+        })?;
+        let result = (|| {
+            let mut arts: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+            for e in fs::read_dir(&self.entries)?.flatten() {
+                if e.path().extension().is_none_or(|x| x != "art") {
+                    continue;
+                }
+                let Ok(meta) = e.metadata() else { continue };
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                arts.push((mtime, meta.len(), e.path()));
+            }
+            let mut total: u64 = arts.iter().map(|a| a.1).sum();
+            // Oldest first; path tiebreak keeps the sweep deterministic
+            // on filesystems with coarse mtime granularity.
+            arts.sort();
+            let mut removed = 0usize;
+            for (_, len, path) in arts {
+                if total <= max_bytes {
+                    break;
+                }
+                if fs::remove_file(&path).is_ok() {
+                    total = total.saturating_sub(len);
+                    removed += 1;
+                }
+            }
+            Ok(removed)
+        })();
+        let _ = self._lock.lock_shared();
+        result
+    }
+
     // ---- raw load/save ---------------------------------------------------
 
     fn entry_path(&self, kind: Kind, key: u64) -> PathBuf {
@@ -644,6 +697,47 @@ mod tests {
         drop(s2);
         assert_eq!(removed, 2);
         assert_eq!(s.load_bram(1), None);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn gc_sweeps_oldest_first_down_to_budget() {
+        let root = tmp_root("gc");
+        let opts = CompileOptions::default();
+        let s = ArtifactStore::open(&root, &opts).expect("opens");
+        // Three artifacts with strictly increasing mtimes.
+        for (i, key) in [1u64, 2, 3].iter().enumerate() {
+            s.save_bram(*key, 10 + *key);
+            let t = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + i as u64);
+            let f = File::options()
+                .write(true)
+                .open(s.entry_path(Kind::Bram, *key))
+                .expect("opens artifact");
+            f.set_modified(t).expect("sets mtime");
+        }
+        let total: u64 = s.disk_usage().values().map(|v| v.1).sum();
+        let one = total / 3;
+        // Budget for two artifacts: the oldest (key 1) goes, 2 and 3 stay.
+        let removed = s.gc(2 * one + 1).expect("sweeps");
+        assert_eq!(removed, 1);
+        assert_eq!(s.load_bram(1), None, "oldest artifact swept");
+        assert_eq!(s.load_bram(2), Some(12));
+        assert_eq!(s.load_bram(3), Some(13));
+        // Already within budget: a second sweep is a no-op.
+        assert_eq!(s.gc(2 * one + 1).expect("sweeps"), 0);
+        // A zero budget empties the shard.
+        assert_eq!(s.gc(0).expect("sweeps"), 2);
+        // A second live handle blocks the sweep, like clear().
+        s.save_bram(9, 9);
+        let s2 = ArtifactStore::open(&root, &opts).expect("opens");
+        assert_eq!(
+            s.gc(0).map_err(|e| e.kind()),
+            Err(io::ErrorKind::WouldBlock),
+            "another live handle blocks gc"
+        );
+        drop(s2);
+        assert_eq!(s.load_bram(9), Some(9), "contended sweep removed nothing");
         let _ = fs::remove_dir_all(&root);
     }
 

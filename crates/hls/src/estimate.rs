@@ -157,6 +157,15 @@ impl QoR {
     }
 }
 
+/// BRAM18K units one array occupies: `bits` spread over `banks` banks,
+/// each bank rounded up to whole 18-kbit blocks (at least one block per
+/// bank). The single accounting shared by the estimator, pom-lint's
+/// POM003 budget check, and the DSE's BRAM prescreen.
+pub fn bram18k_units(bits: u64, banks: u64) -> u64 {
+    let b = banks.max(1);
+    b * bits.div_ceil(b).div_ceil(18 * 1024).max(1)
+}
+
 /// Estimates the QoR of an annotated affine function.
 pub fn estimate(func: &AffineFunc, deps: &DepSummary, model: &CostModel, sharing: Sharing) -> QoR {
     let banks: HashMap<String, u64> = func
@@ -190,9 +199,7 @@ pub fn estimate(func: &AffineFunc, deps: &DepSummary, model: &CostModel, sharing
     let mut res = compute_res;
     for m in &func.memrefs {
         let b = m.banks().max(1) as u64;
-        let bits = m.bits();
-        let per_bank_bits = bits.div_ceil(b);
-        res.bram18k += b * per_bank_bits.div_ceil(18 * 1024).max(1);
+        res.bram18k += bram18k_units(m.bits(), b);
         if b > 1 {
             // Bank-selection muxing overhead.
             res.lut += b * 8;

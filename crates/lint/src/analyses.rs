@@ -1,4 +1,4 @@
-//! The six shipped lint analyses (POM001–POM006).
+//! The shipped lint analyses (POM001–POM009).
 
 use crate::context::{walk_loops, walk_stores, LintContext};
 use crate::{Analysis, Diagnostic, LintCode, Location};
@@ -217,9 +217,7 @@ impl Analysis for PortPressure {
         // (b) BRAM budget of the partitioning (the estimator's accounting).
         let mut bram = 0u64;
         for m in &cx.func.memrefs {
-            let b = m.banks().max(1) as u64;
-            let per_bank_bits = m.bits().div_ceil(b);
-            bram += b * per_bank_bits.div_ceil(18 * 1024).max(1);
+            bram += pom_hls::bram18k_units(m.bits(), m.banks().max(1) as u64);
         }
         if bram > cx.device.bram18k {
             out.push(
@@ -600,6 +598,84 @@ impl Analysis for BankConflict {
                 )
                 .with_suggestion(suggestion),
             );
+        }
+    }
+}
+
+/// POM007/POM008/POM009: pom-live's whole-function liveness analysis.
+/// One polyhedral pass yields all three findings:
+///
+/// * **POM007** (warning) — an array's exact live windows are strictly
+///   smaller than its declared extents; folding storage to
+///   `e_d mod W_d` is proven behaviour-preserving and the claim can be
+///   replayed as a `buffer-contracted` certificate through pom-verify.
+/// * **POM008** (error) — every store of one statement to an array is
+///   overwritten by a later statement before any read observes it.
+/// * **POM009** (note) — the minimal buffer depth each
+///   producer→consumer flow would need as a FIFO/stream.
+pub struct Liveness;
+
+impl Analysis for Liveness {
+    fn name(&self) -> &'static str {
+        "liveness"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let report = pom_live::analyze_func(cx.func);
+        for al in &report.arrays {
+            if !al.contracted() {
+                continue;
+            }
+            let spelled = |v: &[i64]| {
+                v.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x")
+            };
+            out.push(
+                Diagnostic::new(
+                    LintCode::OversizedBuffer,
+                    Location::func_scope(&cx.func.name),
+                    format!(
+                        "array `{}` declares {} cell(s) ({} bits) but its live window \
+                         is [{}] = {} cell(s) ({} bits); the contraction is \
+                         certificate-checked (`pomc --emit verify`)",
+                        al.array,
+                        al.declared_cells(),
+                        al.declared_bits(),
+                        spelled(&al.windows),
+                        al.contracted_cells(),
+                        al.contracted_bits()
+                    ),
+                )
+                .with_suggestion(format!(
+                    "fold `{}` to [{}] storage indexed by `e mod W` per dimension",
+                    al.array,
+                    spelled(&al.windows)
+                )),
+            );
+        }
+        for ds in &report.dead_stores {
+            out.push(Diagnostic::new(
+                LintCode::DeadStoreToArray,
+                Location::func_scope(&cx.func.name).with_stmt(&ds.stmt),
+                format!(
+                    "every store of `{}` to `{}` is overwritten by `{}` before \
+                     any read observes it",
+                    ds.stmt, ds.array, ds.killer
+                ),
+            ));
+        }
+        for fd in &report.depths {
+            out.push(Diagnostic::new(
+                LintCode::BufferDepth,
+                Location::func_scope(&cx.func.name).with_stmt(&fd.producer),
+                format!(
+                    "flow `{}` -> `{}` through `{}` needs a buffer of depth {} \
+                     element(s) if streamed",
+                    fd.producer, fd.consumer, fd.array, fd.depth
+                ),
+            ));
         }
     }
 }
@@ -1179,5 +1255,107 @@ mod tests {
             .register(DeadCode)
             .run(&ctx(&f, &deps, &model, &device));
         assert!(report.is_clean(), "{}", report.render("bnd"));
+    }
+
+    fn lv_loop(body: Vec<AffineOp>) -> AffineOp {
+        AffineOp::For(ForOp {
+            extra: Vec::new(),
+            iv: "i".into(),
+            lbs: vec![cb(0)],
+            ubs: vec![cb(15)],
+            attrs: HlsAttrs::none(),
+            body,
+        })
+    }
+
+    fn lv_memrefs(f: &mut AffineFunc) {
+        f.memrefs.push(MemRefDecl::new("x", &[16], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("T", &[16], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("y", &[16], DataType::F32));
+    }
+
+    #[test]
+    fn liveness_reports_contraction_and_depth() {
+        // for i in 0..15 { T[i] = x[i] * 2; y[i] = T[i] + 1 }: each T
+        // value dies in the iteration that made it — window [1],
+        // stream depth 1.
+        let mut f = AffineFunc::new("lv");
+        lv_memrefs(&mut f);
+        let i = LinearExpr::var("i");
+        f.body.push(lv_loop(vec![
+            AffineOp::Store(StoreOp {
+                stmt: "s1".into(),
+                dest: AccessFn::new("T", vec![i.clone()]),
+                value: load("x", vec![i.clone()]) * 2.0,
+            }),
+            AffineOp::Store(StoreOp {
+                stmt: "s2".into(),
+                dest: AccessFn::new("y", vec![i.clone()]),
+                value: load("T", vec![i.clone()]) + 1.0,
+            }),
+        ]));
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+        let report = Linter::new()
+            .register(Liveness)
+            .run(&ctx(&f, &deps, &model, &device));
+
+        let pom7 = report.with_code(LintCode::OversizedBuffer);
+        assert_eq!(pom7.len(), 1, "{}", report.render("lv"));
+        assert!(pom7[0].message.contains("`T`"), "{}", pom7[0].message);
+        assert!(
+            pom7[0].message.contains("live window"),
+            "{}",
+            pom7[0].message
+        );
+        assert!(pom7[0].suggestion.as_deref().unwrap().contains("e mod W"));
+
+        assert!(report.with_code(LintCode::DeadStoreToArray).is_empty());
+        let pom9 = report.with_code(LintCode::BufferDepth);
+        assert!(
+            pom9.iter()
+                .any(|d| d.message.contains("`s1` -> `s2`") && d.message.contains("depth 1")),
+            "{}",
+            report.render("lv")
+        );
+    }
+
+    #[test]
+    fn liveness_reports_covered_dead_store() {
+        // p: for i { T[i] = 7.0 }   — every store overwritten by s1's
+        // own nest before any read; s2 then consumes T.
+        let mut f = AffineFunc::new("lv");
+        lv_memrefs(&mut f);
+        let i = LinearExpr::var("i");
+        f.body.push(lv_loop(vec![AffineOp::Store(StoreOp {
+            stmt: "p".into(),
+            dest: AccessFn::new("T", vec![i.clone()]),
+            value: pom_dsl::Expr::from(7.0f64),
+        })]));
+        f.body.push(lv_loop(vec![AffineOp::Store(StoreOp {
+            stmt: "s1".into(),
+            dest: AccessFn::new("T", vec![i.clone()]),
+            value: load("x", vec![i.clone()]) * 2.0,
+        })]));
+        f.body.push(lv_loop(vec![AffineOp::Store(StoreOp {
+            stmt: "s2".into(),
+            dest: AccessFn::new("y", vec![i.clone()]),
+            value: load("T", vec![i.clone()]) + 1.0,
+        })]));
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+        let report = Linter::new()
+            .register(Liveness)
+            .run(&ctx(&f, &deps, &model, &device));
+        let pom8 = report.with_code(LintCode::DeadStoreToArray);
+        assert_eq!(pom8.len(), 1, "{}", report.render("lv"));
+        assert_eq!(pom8[0].severity, Severity::Error);
+        assert!(
+            pom8[0].message.contains("`p`") && pom8[0].message.contains("`s1`"),
+            "{}",
+            pom8[0].message
+        );
     }
 }

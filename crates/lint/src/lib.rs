@@ -19,6 +19,9 @@
 //! | `POM004` | dependence not lexicographically preserved | Error | VI-A |
 //! | `POM005` | dead stores / never-accessed memrefs | Warning | IV |
 //! | `POM006` | declared II infeasible under provable bank conflicts | Warning | VI-B |
+//! | `POM007` | buffer provably oversized for its live window | Warning | IV |
+//! | `POM008` | array store overwritten before any read observes it | Error | IV |
+//! | `POM009` | minimal producer→consumer buffer depth | Note | IV |
 //!
 //! The linter is wired into three places: `PassManager::lint_each` (a
 //! post-pass hook alongside `verify_each`), `dse::stage2` (candidate
@@ -76,6 +79,20 @@ pub enum LintCode {
     /// reads and proves per-bank residue classes) found a bank whose
     /// demand cannot be served within the declared II.
     BankConflict,
+    /// POM007: an array is declared strictly larger than its live window
+    /// — pom-live's exact liveness analysis proves a smaller modulo-folded
+    /// buffer (`e_d mod W_d`) preserves the full store value stream, and
+    /// the claim carries a machine-checked replay certificate.
+    OversizedBuffer,
+    /// POM008: every store of a statement to an array is overwritten by a
+    /// later statement before any read can observe it — unlike POM005
+    /// (which needs a never-read array or an iv-invariant rewrite), this
+    /// is the polyhedral covered-kill argument across statements.
+    DeadStoreToArray,
+    /// POM009: the minimal buffer depth a producer→consumer flow needs if
+    /// the carrying array were replaced by a FIFO/stream — informational
+    /// sizing guidance for dataflow-style refactoring.
+    BufferDepth,
 }
 
 impl LintCode {
@@ -88,18 +105,24 @@ impl LintCode {
             LintCode::IllegalSchedule => "POM004",
             LintCode::DeadCode => "POM005",
             LintCode::BankConflict => "POM006",
+            LintCode::OversizedBuffer => "POM007",
+            LintCode::DeadStoreToArray => "POM008",
+            LintCode::BufferDepth => "POM009",
         }
     }
 
     /// The default severity of findings with this code.
     pub fn default_severity(&self) -> Severity {
         match self {
-            LintCode::IiInfeasible | LintCode::OutOfBounds | LintCode::IllegalSchedule => {
-                Severity::Error
-            }
-            LintCode::PortPressure | LintCode::DeadCode | LintCode::BankConflict => {
-                Severity::Warning
-            }
+            LintCode::IiInfeasible
+            | LintCode::OutOfBounds
+            | LintCode::IllegalSchedule
+            | LintCode::DeadStoreToArray => Severity::Error,
+            LintCode::PortPressure
+            | LintCode::DeadCode
+            | LintCode::BankConflict
+            | LintCode::OversizedBuffer => Severity::Warning,
+            LintCode::BufferDepth => Severity::Note,
         }
     }
 }
@@ -295,7 +318,7 @@ impl Linter {
         Self::default()
     }
 
-    /// The standard registry: all six shipped analyses.
+    /// The standard registry: all shipped analyses (POM001–POM009).
     pub fn standard() -> Self {
         Linter::new()
             .register(analyses::IiFeasibility)
@@ -304,6 +327,7 @@ impl Linter {
             .register(analyses::ScheduleLegality)
             .register(analyses::DeadCode)
             .register(analyses::BankConflict)
+            .register(analyses::Liveness)
     }
 
     /// Registers one analysis.
@@ -339,7 +363,19 @@ mod tests {
         assert_eq!(LintCode::IiInfeasible.as_str(), "POM001");
         assert_eq!(LintCode::DeadCode.as_str(), "POM005");
         assert_eq!(LintCode::BankConflict.as_str(), "POM006");
+        assert_eq!(LintCode::OversizedBuffer.as_str(), "POM007");
+        assert_eq!(LintCode::DeadStoreToArray.as_str(), "POM008");
+        assert_eq!(LintCode::BufferDepth.as_str(), "POM009");
         assert_eq!(LintCode::BankConflict.default_severity(), Severity::Warning);
+        assert_eq!(
+            LintCode::OversizedBuffer.default_severity(),
+            Severity::Warning
+        );
+        assert_eq!(
+            LintCode::DeadStoreToArray.default_severity(),
+            Severity::Error
+        );
+        assert_eq!(LintCode::BufferDepth.default_severity(), Severity::Note);
         assert_eq!(LintCode::OutOfBounds.default_severity(), Severity::Error);
         assert_eq!(LintCode::PortPressure.default_severity(), Severity::Warning);
         assert!(Severity::Error < Severity::Warning);

@@ -1,0 +1,128 @@
+//! Text and JSON rendering of a [`LiveReport`](crate::LiveReport).
+
+use crate::LiveReport;
+use std::fmt::Write as _;
+
+fn dims(v: &[i64]) -> String {
+    v.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("x")
+}
+
+/// Human-readable rendering (the `pomc --emit live` output).
+pub fn render(r: &LiveReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "live report for @{}", r.func);
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>12} {:>12} {:>14} {:>7} {:>10}",
+        "array", "declared", "windows", "high-water", "exact", "contract"
+    );
+    for a in &r.arrays {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>12} {:>12} {:>14} {:>7} {:>10}",
+            a.array,
+            dims(&a.extents),
+            dims(&a.windows),
+            a.high_water_cells,
+            if a.exact { "yes" } else { "no" },
+            if a.contracted() {
+                format!("{}b", a.contracted_bits())
+            } else {
+                "-".to_string()
+            }
+        );
+    }
+    if !r.depths.is_empty() {
+        let _ = writeln!(out, "  flow depths:");
+        for d in &r.depths {
+            let _ = writeln!(
+                out,
+                "    {} -> {} via {}: depth {} ({})",
+                d.producer,
+                d.consumer,
+                d.array,
+                d.depth,
+                dims(&d.windows)
+            );
+        }
+    }
+    for ds in &r.dead_stores {
+        let _ = writeln!(
+            out,
+            "  DEAD STORE: stmt {} writes {} but is fully overwritten by {}",
+            ds.stmt, ds.array, ds.killer
+        );
+    }
+    out
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+fn json_dims(v: &[i64]) -> String {
+    format!(
+        "[{}]",
+        v.iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+}
+
+/// JSON rendering (the `LIVE_report.json` CI artifact).
+pub fn to_json(r: &LiveReport) -> String {
+    let arrays: Vec<String> = r
+        .arrays
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"array\":{},\"extents\":{},\"windows\":{},\"high_water_cells\":{},\"declared_bits\":{},\"contracted_bits\":{},\"exact\":{},\"contracted\":{}}}",
+                json_str(&a.array),
+                json_dims(&a.extents),
+                json_dims(&a.windows),
+                a.high_water_cells,
+                a.declared_bits(),
+                a.contracted_bits(),
+                a.exact,
+                a.contracted()
+            )
+        })
+        .collect();
+    let depths: Vec<String> = r
+        .depths
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"producer\":{},\"consumer\":{},\"array\":{},\"depth\":{},\"windows\":{}}}",
+                json_str(&d.producer),
+                json_str(&d.consumer),
+                json_str(&d.array),
+                d.depth,
+                json_dims(&d.windows)
+            )
+        })
+        .collect();
+    let dead: Vec<String> = r
+        .dead_stores
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"stmt\":{},\"array\":{},\"killer\":{}}}",
+                json_str(&d.stmt),
+                json_str(&d.array),
+                json_str(&d.killer)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"func\":{},\"arrays\":[{}],\"depths\":[{}],\"dead_stores\":[{}]}}",
+        json_str(&r.func),
+        arrays.join(","),
+        depths.join(","),
+        dead.join(",")
+    )
+}

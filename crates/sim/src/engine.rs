@@ -30,7 +30,7 @@
 //! available in registers) bypass the memory: they cost no port and no
 //! load latency beyond the producer's finish time.
 
-use crate::report::{BankStall, LoopSim, SimReport};
+use crate::report::{ArrayOccupancy, BankStall, LoopSim, SimReport};
 use pom_bank::ArrayBanks;
 use pom_dsl::interp::eval_expr;
 use pom_dsl::{Expr, MemoryState};
@@ -73,6 +73,32 @@ struct Inst<'a> {
     store: &'a StoreOp,
     loads: Vec<Elem>,
     dest: Elem,
+}
+
+/// Per-element liveness state for the occupancy counter. An element's
+/// value is live from its birth (the step of the store that wrote it, or
+/// step 0 for values read before any write — live-ins) until its last
+/// read. Successive values of one element produce disjoint intervals
+/// except for the handoff case (a store reading its own destination at
+/// the same step), which merges into one run so the element is never
+/// counted twice.
+#[derive(Clone, Copy)]
+struct ElemLive {
+    /// Open merged liveness run `[open_start, open_end]`;
+    /// `open_start == u64::MAX` means no read has been observed yet.
+    open_start: u64,
+    open_end: u64,
+    /// Birth step of the element's current value; `u64::MAX` means never
+    /// written (a read then seeds a live-in value born at step 0).
+    birth: u64,
+}
+
+impl ElemLive {
+    const UNTOUCHED: ElemLive = ElemLive {
+        open_start: u64::MAX,
+        open_end: 0,
+        birth: u64::MAX,
+    };
 }
 
 /// Port occupancy of one (array, bank) pair within a pipeline region.
@@ -165,6 +191,13 @@ struct Sim<'a> {
     bank_stalls: HashMap<(usize, u32), (u64, u64)>,
     /// Per element: the cycle its current value becomes forwardable.
     ready: Vec<Vec<u64>>,
+    /// Per element: liveness state for the occupancy counter.
+    occ: Vec<Vec<ElemLive>>,
+    /// Per array: closed liveness intervals emitted so far.
+    live_intervals: Vec<Vec<(u64, u64)>>,
+    /// Program-order step counter: one step per executed store (its loads
+    /// share the step and are ordered before the write).
+    step: u64,
     env: HashMap<String, i64>,
     stall_dep: u64,
     stall_port: u64,
@@ -180,11 +213,15 @@ impl<'a> Sim<'a> {
         let mut ids = HashMap::new();
         let mut info = Vec::new();
         let mut ready = Vec::new();
+        let mut occ = Vec::new();
         for m in &func.memrefs {
             ids.insert(m.name.as_str(), info.len());
-            ready.push(vec![0u64; m.shape.iter().product::<usize>()]);
+            let cells = m.shape.iter().product::<usize>();
+            ready.push(vec![0u64; cells]);
+            occ.push(vec![ElemLive::UNTOUCHED; cells]);
             info.push(ArrayBanks::of(m));
         }
+        let live_intervals = vec![Vec::new(); info.len()];
         Sim {
             deps,
             model,
@@ -192,6 +229,9 @@ impl<'a> Sim<'a> {
             info,
             bank_stalls: HashMap::new(),
             ready,
+            occ,
+            live_intervals,
+            step: 0,
             env: HashMap::new(),
             stall_dep: 0,
             stall_port: 0,
@@ -203,11 +243,25 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn into_report(self, cycles: u64) -> SimReport {
+    fn into_report(mut self, cycles: u64) -> SimReport {
         let mut loops = self.loops;
         let mut names = vec![""; self.info.len()];
         for (name, &id) in &self.ids {
             names[id] = name;
+        }
+        let mut occupancy = Vec::with_capacity(self.info.len());
+        for (aid, states) in self.occ.into_iter().enumerate() {
+            let intervals = &mut self.live_intervals[aid];
+            for st in states {
+                if st.open_start != u64::MAX {
+                    intervals.push((st.open_start, st.open_end));
+                }
+            }
+            occupancy.push(ArrayOccupancy {
+                array: names[aid].to_string(),
+                cells: self.info[aid].shape.iter().product::<usize>() as u64,
+                high_water: high_water(intervals),
+            });
         }
         let mut bank_stalls: Vec<BankStall> = self
             .bank_stalls
@@ -233,7 +287,44 @@ impl<'a> Sim<'a> {
                 .filter_map(|iv| loops.remove(iv))
                 .collect(),
             bank_stalls,
+            occupancy,
             sim_time: Default::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Occupancy tracking
+    // ------------------------------------------------------------------
+
+    /// Records one executed store: its loads (reads of the step) followed
+    /// by the write to `dest`, advancing the program-order step counter.
+    fn occ_access(&mut self, loads: &[Elem], dest: Elem) {
+        let s = self.step;
+        self.step += 1;
+        for &e in loads {
+            self.occ_read(e, s);
+        }
+        self.occ[dest.0][dest.1].birth = s;
+    }
+
+    fn occ_read(&mut self, e: Elem, s: u64) {
+        let st = &mut self.occ[e.0][e.1];
+        // A read of a never-written element observes seeded initial
+        // memory: the value is live-in, born at function entry.
+        let birth = if st.birth == u64::MAX { 0 } else { st.birth };
+        if st.open_start == u64::MAX {
+            st.open_start = birth;
+            st.open_end = s;
+        } else if birth <= st.open_end {
+            // Same liveness run: either another read of the same value, or
+            // a handoff (the store that wrote this value also read the old
+            // one at its own step) — extend, never double-count.
+            st.open_end = s;
+        } else {
+            let closed = (st.open_start, st.open_end);
+            st.open_start = birth;
+            st.open_end = s;
+            self.live_intervals[e.0].push(closed);
         }
     }
 
@@ -368,6 +459,7 @@ impl<'a> Sim<'a> {
         let v = eval_expr(&s.value, &self.env, mem);
         mem.store(&s.dest, &self.env, v);
         let dest = self.elem_of(&s.dest);
+        self.occ_access(&elems, dest);
         let avails: Vec<u64> = elems
             .iter()
             .map(|&e| (t + self.model.load_latency).max(self.ready[e.0][e.1]))
@@ -467,6 +559,7 @@ impl<'a> Sim<'a> {
                     let v = eval_expr(&s.value, &self.env, mem);
                     mem.store(&s.dest, &self.env, v);
                     let dest = self.elem_of(&s.dest);
+                    self.occ_access(&loads, dest);
                     region.insts.push(Inst {
                         store: s,
                         loads,
@@ -591,6 +684,28 @@ impl<'a> Sim<'a> {
         region.insts = insts;
         region.insts.clear();
     }
+}
+
+/// Maximum overlap of closed intervals `[a, b]` by endpoint sweep; at
+/// equal coordinates starts are processed before ends, so an interval
+/// ending exactly where another begins counts both (both values are live
+/// at that step — distinct elements, since same-element runs are merged
+/// at emission).
+fn high_water(intervals: &[(u64, u64)]) -> u64 {
+    let mut starts: Vec<u64> = intervals.iter().map(|&(a, _)| a).collect();
+    let mut ends: Vec<u64> = intervals.iter().map(|&(_, b)| b).collect();
+    starts.sort_unstable();
+    ends.sort_unstable();
+    let (mut live, mut max, mut j) = (0u64, 0u64, 0usize);
+    for s in starts {
+        while j < ends.len() && ends[j] < s {
+            live -= 1;
+            j += 1;
+        }
+        live += 1;
+        max = max.max(live);
+    }
+    max
 }
 
 /// Computes the result-available time of an expression: DFS in the same

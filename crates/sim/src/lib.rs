@@ -31,7 +31,7 @@ mod engine;
 mod report;
 
 pub use engine::simulate;
-pub use report::{BankStall, LoopSim, SimReport};
+pub use report::{ArrayOccupancy, BankStall, LoopSim, SimReport};
 
 #[cfg(test)]
 mod tests {
@@ -404,6 +404,56 @@ mod tests {
         assert_eq!(r1.stall_dep, 0);
         // depth only: load(2) + fadd(4) + store(1) + overhead(2).
         assert_eq!(r1.cycles, 9);
+    }
+
+    #[test]
+    fn occupancy_counts_live_values_exactly() {
+        let m = CostModel::vitis_f32();
+        // Copy loop y[i] = x[i] * 2 over 64 elements: every x value is
+        // live from entry until its single read; y values are written but
+        // never read. x's high water is hit at step 0 (all 64 live-in
+        // values pending), y's is zero.
+        let mut f = AffineFunc::new("f");
+        f.memrefs.push(MemRefDecl::new("x", &[64], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("y", &[64], DataType::F32));
+        let store = StoreOp {
+            stmt: "S".into(),
+            dest: AccessFn::new("y", vec![LinearExpr::var("i")]),
+            value: pom_dsl::Expr::Load(AccessFn::new("x", vec![LinearExpr::var("i")])) * 2.0,
+        };
+        f.body.push(AffineOp::For(plain_for(
+            "i",
+            0,
+            63,
+            vec![AffineOp::Store(store)],
+        )));
+        let r = sim_checked(&f, &DepSummary::new(), &m);
+        let occ = |name: &str| {
+            r.occupancy
+                .iter()
+                .find(|o| o.array == name)
+                .unwrap_or_else(|| panic!("no occupancy row for {name}"))
+        };
+        assert_eq!(occ("x").high_water, 64, "all live-ins pending at entry");
+        assert_eq!(occ("x").cells, 64);
+        assert_eq!(occ("y").high_water, 0, "written but never read");
+        let text = r.render();
+        assert!(text.contains("live-high-water"));
+    }
+
+    #[test]
+    fn occupancy_accumulator_is_one_not_two() {
+        // acc[0] = acc[0] + x[i]: each store reads the old value and
+        // writes the new one at the same step — a handoff, one live cell,
+        // never double-counted. Holds in both sequential and pipelined
+        // execution paths.
+        let m = CostModel::vitis_f32();
+        for pipeline in [false, true] {
+            let f = accumulate_loop(16, pipeline);
+            let r = sim_checked(&f, &DepSummary::new(), &m);
+            let acc = r.occupancy.iter().find(|o| o.array == "acc").unwrap();
+            assert_eq!(acc.high_water, 1, "pipeline={pipeline}");
+        }
     }
 
     #[test]

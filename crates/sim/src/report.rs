@@ -64,6 +64,22 @@ pub struct BankStall {
     pub slide_cycles: u64,
 }
 
+/// Peak simultaneous liveness of one array, measured element-exactly
+/// during execution: an element is live from the step that wrote its
+/// current value (function entry for values read before any write)
+/// until the last step that read it. Values written but never read
+/// contribute nothing. The static bound from `pom-live` must dominate
+/// `high_water` on every run — `pomc bench-live` gates on exactly that.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArrayOccupancy {
+    /// Array name.
+    pub array: String,
+    /// Declared element count of the memref.
+    pub cells: u64,
+    /// Maximum number of simultaneously live elements observed.
+    pub high_water: u64,
+}
+
 /// The result of simulating one affine function.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimReport {
@@ -84,6 +100,8 @@ pub struct SimReport {
     /// Per-(array, bank) port-conflict attribution, sorted by array name
     /// then bank; pairs that never conflicted are omitted.
     pub bank_stalls: Vec<BankStall>,
+    /// Per-array peak simultaneous liveness, in memref declaration order.
+    pub occupancy: Vec<ArrayOccupancy>,
     /// Wall-clock time spent simulating.
     pub sim_time: Duration,
 }
@@ -146,6 +164,16 @@ impl SimReport {
                     "{:<10} {:>6} {:>10} {:>12}",
                     b.array, b.bank, b.conflicts, b.slide_cycles
                 );
+            }
+        }
+        if !self.occupancy.is_empty() {
+            let _ = writeln!(
+                s,
+                "{:<10} {:>8} {:>15}",
+                "array", "cells", "live-high-water"
+            );
+            for o in &self.occupancy {
+                let _ = writeln!(s, "{:<10} {:>8} {:>15}", o.array, o.cells, o.high_water);
             }
         }
         let _ = writeln!(s, "sim wall time:    {:.3} s", self.sim_time.as_secs_f64());

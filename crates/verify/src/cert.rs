@@ -30,6 +30,12 @@ pub enum ObligationKind {
     /// memory banks (or fit one bank's ports): the declared II incurs no
     /// port stalls. Discharged by pom-bank's congruence analysis.
     BankConflictFree,
+    /// An array's storage can be folded to its live window (modulo
+    /// remapping) without changing observable behaviour: the full store
+    /// value stream and every other array's final contents are
+    /// bit-identical under the contraction. Discharged by pom-live's
+    /// replay over seeded initial memory.
+    BufferContracted,
 }
 
 impl ObligationKind {
@@ -42,6 +48,7 @@ impl ObligationKind {
             ObligationKind::OrderPreserved => "order-preserved",
             ObligationKind::AttributeOnly => "attribute-only",
             ObligationKind::BankConflictFree => "bank-conflict-free",
+            ObligationKind::BufferContracted => "buffer-contracted",
         }
     }
 }

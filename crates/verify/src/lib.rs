@@ -24,6 +24,7 @@
 pub mod bank;
 pub mod cert;
 pub mod dataflow;
+pub mod live;
 pub mod passes;
 pub mod tv;
 
@@ -33,5 +34,6 @@ pub use dataflow::{
     analyze_ranges, expr_interval, narrowing_hints, uninit_reads, AbstractValue, BitwidthHint,
     Direction, Interval, KnownBits, UninitRead, ValueRanges,
 };
+pub use live::live_report;
 pub use passes::{check_hook, check_pass};
 pub use tv::{validate, validate_with, ValidateOptions};
