@@ -67,7 +67,10 @@
 //! Kernels: gemm, bicg, gesummv, 2mm, 3mm, jacobi1d, jacobi2d, heat1d,
 //! seidel, edge_detect, gaussian, blur, vgg16, resnet18.
 
-use pom::{auto_dse_with, baselines, ArtifactStore, CompileOptions, DseConfig, MemoryState, Pom};
+use pom::{
+    auto_dse_with, baselines, ArtifactStore, CompileOptions, DseConfig, MemoryState, Pom,
+    SearchMode,
+};
 use pom_bench::experiments::{
     bench_dse, bench_live, bench_poly, bench_serve, bench_sim, verify_suite,
 };
@@ -78,7 +81,7 @@ const EMIT_MODES: &[&str] = &[
     "dsl", "graph", "ir", "c", "tb", "report", "schedule", "lint", "verify", "sim", "live", "cache",
 ];
 
-const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim|live|cache] [--no-dse] [--store DIR] [--store-max-bytes BYTES] [--daemon SOCKET]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]\n       pomc bench-poly [--iters N] [--out PATH] [--baseline PATH]\n       pomc bench-sim [--size N] [--out PATH]\n       pomc bench-live [--size N] [--out PATH]\n       pomc bench-serve [--size N] [--repeat N] [--clients N] [--out PATH]\n       pomc verify-all [--size N] [--sample-every K] [--out PATH]";
+const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim|live|cache] [--search greedy|beam|portfolio] [--budget-ms MS] [--no-dse] [--store DIR] [--store-max-bytes BYTES] [--daemon SOCKET]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS] [--beam]\n       pomc bench-poly [--iters N] [--out PATH] [--baseline PATH]\n       pomc bench-sim [--size N] [--out PATH]\n       pomc bench-live [--size N] [--out PATH]\n       pomc bench-serve [--size N] [--repeat N] [--clients N] [--out PATH]\n       pomc verify-all [--size N] [--sample-every K] [--out PATH]";
 
 fn bench_poly_main(args: &[String]) -> ! {
     let mut iters = 200usize;
@@ -198,6 +201,7 @@ fn bench_dse_main(args: &[String]) -> ! {
     let mut size = 64usize;
     let mut out = "BENCH_dse.json".to_string();
     let mut ceiling = f64::INFINITY;
+    let mut beam = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -228,6 +232,10 @@ fn bench_dse_main(args: &[String]) -> ! {
                     });
                 i += 2;
             }
+            "--beam" => {
+                beam = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown flag {other}\n{USAGE}");
                 std::process::exit(2);
@@ -236,7 +244,14 @@ fn bench_dse_main(args: &[String]) -> ! {
     }
     let report = bench_dse::run_suite(size);
     print!("{}", bench_dse::render(&report));
-    if let Err(e) = std::fs::write(&out, bench_dse::to_json(&report)) {
+    let beam_report = beam.then(|| bench_dse::run_beam_suite(size));
+    if let Some(b) = &beam_report {
+        print!("{}", bench_dse::render_beam(b));
+    }
+    if let Err(e) = std::fs::write(
+        &out,
+        bench_dse::to_json_with_beam(&report, beam_report.as_ref()),
+    ) {
         eprintln!("failed to write {out}: {e}");
         std::process::exit(1);
     }
@@ -252,6 +267,35 @@ fn bench_dse_main(args: &[String]) -> ! {
                 "FAIL: {} DSE took {:.3} s (> ceiling {:.3} s)",
                 k.kernel, k.fast_s, ceiling
             );
+            failed = true;
+        }
+    }
+    if let Some(b) = &beam_report {
+        // Beam gates: (a) the portfolio never regresses any kernel's
+        // simulated QoR, (b) it strictly beats greedy somewhere, (c) the
+        // anytime curves honor their strictly-decreasing contract.
+        for k in &b.rows {
+            if k.regression {
+                eprintln!(
+                    "FAIL: {} portfolio regressed vs greedy ({} > {} simulated cycles)",
+                    k.kernel, k.beam_cycles, k.greedy_cycles
+                );
+                failed = true;
+            }
+            if !k.both_fit {
+                eprintln!("FAIL: {} winner exceeds the device envelope", k.kernel);
+                failed = true;
+            }
+            if !k.anytime_monotonic {
+                eprintln!(
+                    "FAIL: {} anytime curve is not strictly decreasing",
+                    k.kernel
+                );
+                failed = true;
+            }
+        }
+        if b.strict_wins == 0 {
+            eprintln!("FAIL: portfolio strictly beat greedy on no kernel");
             failed = true;
         }
     }
@@ -436,6 +480,8 @@ fn main() {
     let mut size = 256usize;
     let mut emit = "report".to_string();
     let mut use_dse = true;
+    let mut search = "greedy".to_string();
+    let mut budget_ms: Option<u64> = None;
     let mut store: Option<std::path::PathBuf> = None;
     let mut store_max_bytes: Option<u64> = None;
     let mut daemon: Option<std::path::PathBuf> = None;
@@ -462,6 +508,21 @@ fn main() {
             "--no-dse" => {
                 use_dse = false;
                 i += 1;
+            }
+            "--search" => {
+                search = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--search expects a mode: {}", SearchMode::MODES.join("|"));
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--budget-ms" => {
+                budget_ms = args.get(i + 1).and_then(|v| v.parse().ok());
+                if budget_ms.is_none() {
+                    eprintln!("--budget-ms expects a millisecond count");
+                    std::process::exit(2);
+                }
+                i += 2;
             }
             "--store" => {
                 store = args.get(i + 1).map(std::path::PathBuf::from);
@@ -528,6 +589,28 @@ fn main() {
         std::process::exit(2);
     }
 
+    // Same fail-fast contract for the search flags: a bad mode name or a
+    // meaningless budget is a usage error, caught before any compilation.
+    let Some(search) = SearchMode::parse(&search) else {
+        eprintln!(
+            "unknown --search {search}; valid modes: {}\n{USAGE}",
+            SearchMode::MODES.join(", ")
+        );
+        std::process::exit(2);
+    };
+    if budget_ms == Some(0) {
+        eprintln!("--budget-ms expects a positive budget (0 would return the untuned seed)");
+        std::process::exit(2);
+    }
+    if budget_ms.is_some() && search == SearchMode::Greedy {
+        eprintln!("--budget-ms only applies to the beam searches; pass --search beam|portfolio");
+        std::process::exit(2);
+    }
+    if search != SearchMode::Greedy && !use_dse {
+        eprintln!("--search {search} runs inside the DSE; it cannot be combined with --no-dse");
+        std::process::exit(2);
+    }
+
     let Some(f) = kernel_by_name(kernel, size) else {
         eprintln!("unknown kernel {kernel}\n{USAGE}");
         std::process::exit(2);
@@ -538,6 +621,8 @@ fn main() {
     let cfg = DseConfig {
         store: store.clone(),
         store_max_bytes,
+        search,
+        budget_ms,
         ..DseConfig::default()
     };
     let dse = if use_dse {
@@ -575,6 +660,24 @@ fn main() {
                 "Speedup over unoptimized baseline: {:.1}x",
                 report.qor.speedup_over(&base.qor)
             );
+            if let Some(r) = &dse {
+                if search != SearchMode::Greedy {
+                    println!(
+                        "Search ({search}): {} wave(s), {} expanded, {} simulated \
+                         ({} band-pruned), winner {} simulated cycle(s){}",
+                        r.stats.beam_depth,
+                        r.stats.beam_expanded,
+                        r.stats.sim_admitted,
+                        r.stats.sim_pruned,
+                        r.stats.sim_cycles,
+                        if r.stats.budget_expired {
+                            "; budget expired (anytime best-so-far)"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+            }
         }
         "lint" => {
             let report = driver.lint(&scheduled);
@@ -661,6 +764,33 @@ fn main() {
                     println!(
                         "DSE sim re-rank: {} finalist(s) measured, winner {} cycle(s)",
                         r.stats.sim_reranked, r.stats.sim_cycles
+                    );
+                }
+                if search != SearchMode::Greedy {
+                    println!(
+                        "DSE {search} search: {} wave(s), width {}, {} state(s) expanded",
+                        r.stats.beam_depth, r.stats.beam_width, r.stats.beam_expanded
+                    );
+                    println!(
+                        "DSE sim admission: {} state(s) simulated, {} pruned by the \
+                         admission band, {:.3} s in the simulator{}",
+                        r.stats.sim_admitted,
+                        r.stats.sim_pruned,
+                        r.stats.sim_time.as_secs_f64(),
+                        if r.stats.budget_expired {
+                            " (budget expired: anytime best-so-far)"
+                        } else {
+                            ""
+                        }
+                    );
+                    println!(
+                        "DSE winner (simulated): {} cycle(s) (dep {}, port {}, drain {}; \
+                         {} port conflict(s))",
+                        r.stats.sim_cycles,
+                        r.stats.sim_stall_dep,
+                        r.stats.sim_stall_port,
+                        r.stats.sim_stall_drain,
+                        r.stats.sim_port_conflicts
                     );
                 }
             }

@@ -10,7 +10,7 @@
 
 use crate::experiments::common::{paper_options, Table};
 use crate::kernels;
-use pom::{auto_dse_with, DseConfig, DseResult, Function};
+use pom::{auto_dse_with, DseConfig, DseResult, Function, MemoryState, SearchMode};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -176,6 +176,219 @@ pub fn run_suite(size: usize) -> BenchReport {
     }
 }
 
+/// One kernel's greedy-vs-portfolio comparison: both winners simulated
+/// with identically seeded memory, so the cycle counts are the same
+/// metric the beam's sim-admission loop optimizes.
+#[derive(Clone, Debug)]
+pub struct BeamBench {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Simulated cycles of the greedy winner's final design.
+    pub greedy_cycles: u64,
+    /// Simulated cycles of the portfolio winner's final design.
+    pub beam_cycles: u64,
+    /// Analytical latency estimates of the two final designs.
+    pub greedy_est: u64,
+    /// Portfolio winner's analytical latency estimate.
+    pub beam_est: u64,
+    /// Both final designs fit the device (equal resource envelope).
+    pub both_fit: bool,
+    /// `beam_cycles < greedy_cycles` — a strict simulated-cycles win.
+    pub strict_win: bool,
+    /// `beam_cycles > greedy_cycles` — a QoR regression (the portfolio
+    /// guarantee makes this structurally impossible; the gate checks it
+    /// anyway).
+    pub regression: bool,
+    /// Wall seconds of the greedy search.
+    pub greedy_s: f64,
+    /// Wall seconds of the portfolio search.
+    pub beam_s: f64,
+    /// The anytime incumbent curve: `(elapsed_s, sim_cycles)` per strict
+    /// improvement, in time order.
+    pub anytime: Vec<(f64, u64)>,
+    /// The curve's cycle counts are strictly decreasing (the anytime
+    /// contract).
+    pub anytime_monotonic: bool,
+    /// Frontier states the portfolio search simulated.
+    pub sim_admitted: usize,
+    /// Frontier survivors pruned by the sim-admission band.
+    pub sim_pruned: usize,
+    /// Successor states expanded across all beam waves.
+    pub beam_expanded: usize,
+}
+
+/// The whole beam-vs-greedy comparison.
+#[derive(Clone, Debug)]
+pub struct BeamReport {
+    /// Per-kernel rows, in suite order.
+    pub rows: Vec<BeamBench>,
+    /// Kernels where the portfolio strictly beat greedy (simulated).
+    pub strict_wins: usize,
+    /// Kernels where the portfolio regressed vs greedy (simulated).
+    pub regressions: usize,
+    /// Every kernel's anytime curve was strictly decreasing.
+    pub all_monotonic: bool,
+}
+
+/// The deterministic seed both measurements share — the same one the
+/// searches themselves use, so the harness's counts match the DSE's.
+const SIM_SEED: u64 = 0x5EED;
+
+/// Simulated cycles of a DSE winner's final compiled design.
+fn measure(f: &Function, r: &DseResult, opts: &pom::CompileOptions) -> u64 {
+    let mut mem = MemoryState::for_function_seeded(f, SIM_SEED);
+    pom::simulate(&r.compiled.affine, &r.compiled.deps, &mut mem, &opts.model).cycles
+}
+
+/// Runs the greedy-vs-portfolio comparison over the suite at `size`.
+pub fn run_beam_suite(size: usize) -> BeamReport {
+    let opts = paper_options();
+    let suite = suite(size);
+    let greedy_cfg = DseConfig::default();
+    let beam_cfg = DseConfig {
+        search: SearchMode::Portfolio,
+        ..DseConfig::default()
+    };
+    let device = &opts.device;
+    let rows: Vec<BeamBench> = suite
+        .iter()
+        .map(|(name, f)| {
+            let t = Instant::now();
+            let greedy = auto_dse_with(f, &opts, &greedy_cfg).expect("DSE compiles");
+            let greedy_s = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let beam = auto_dse_with(f, &opts, &beam_cfg).expect("DSE compiles");
+            let beam_s = t.elapsed().as_secs_f64();
+            let greedy_cycles = measure(f, &greedy, &opts);
+            let beam_cycles = measure(f, &beam, &opts);
+            let fits = |r: &DseResult| {
+                let u = &r.compiled.qor.resources;
+                u.dsp <= device.dsp && u.ff <= device.ff && u.lut <= device.lut
+            };
+            let anytime: Vec<(f64, u64)> = beam
+                .anytime
+                .iter()
+                .map(|p| (p.elapsed.as_secs_f64(), p.sim_cycles))
+                .collect();
+            BeamBench {
+                kernel: name,
+                greedy_cycles,
+                beam_cycles,
+                greedy_est: greedy.compiled.qor.latency,
+                beam_est: beam.compiled.qor.latency,
+                both_fit: fits(&greedy) && fits(&beam),
+                strict_win: beam_cycles < greedy_cycles,
+                regression: beam_cycles > greedy_cycles,
+                greedy_s,
+                beam_s,
+                anytime_monotonic: anytime.windows(2).all(|w| w[1].1 < w[0].1),
+                anytime,
+                sim_admitted: beam.stats.sim_admitted,
+                sim_pruned: beam.stats.sim_pruned,
+                beam_expanded: beam.stats.beam_expanded,
+            }
+        })
+        .collect();
+    BeamReport {
+        strict_wins: rows.iter().filter(|r| r.strict_win).count(),
+        regressions: rows.iter().filter(|r| r.regression).count(),
+        all_monotonic: rows.iter().all(|r| r.anytime_monotonic),
+        rows,
+    }
+}
+
+/// Serializes the beam comparison as the `"beam"` section appended to
+/// `BENCH_dse.json` by `pomc bench-dse --beam`.
+pub fn beam_to_json(r: &BeamReport) -> String {
+    let mut s = String::from("  \"beam\": {\n    \"kernels\": [\n");
+    for (i, k) in r.rows.iter().enumerate() {
+        let curve = k
+            .anytime
+            .iter()
+            .map(|(t, c)| format!("[{}, {c}]", json_f(*t)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(
+            s,
+            "      {{\"kernel\": \"{}\", \"greedy_cycles\": {}, \"beam_cycles\": {}, \
+             \"greedy_est\": {}, \"beam_est\": {}, \"both_fit\": {}, \"strict_win\": {}, \
+             \"regression\": {}, \"greedy_s\": {}, \"beam_s\": {}, \"sim_admitted\": {}, \
+             \"sim_pruned\": {}, \"beam_expanded\": {}, \"anytime_monotonic\": {}, \
+             \"anytime\": [{curve}]}}",
+            k.kernel,
+            k.greedy_cycles,
+            k.beam_cycles,
+            k.greedy_est,
+            k.beam_est,
+            k.both_fit,
+            k.strict_win,
+            k.regression,
+            json_f(k.greedy_s),
+            json_f(k.beam_s),
+            k.sim_admitted,
+            k.sim_pruned,
+            k.beam_expanded,
+            k.anytime_monotonic,
+        );
+        s.push_str(if i + 1 < r.rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        s,
+        "    ],\n    \"strict_wins\": {},\n    \"regressions\": {},\n    \
+         \"all_monotonic\": {}\n  }}",
+        r.strict_wins, r.regressions, r.all_monotonic,
+    );
+    s
+}
+
+/// Renders the beam comparison as an aligned table.
+pub fn render_beam(r: &BeamReport) -> String {
+    let mut t = Table::new(
+        "DSE search QoR — greedy vs portfolio beam (simulated cycles)",
+        &[
+            "Kernel",
+            "Greedy",
+            "Beam",
+            "Win",
+            "Greedy (s)",
+            "Beam (s)",
+            "Simmed",
+            "Pruned",
+        ],
+    );
+    for k in &r.rows {
+        t.row(&[
+            k.kernel.to_string(),
+            k.greedy_cycles.to_string(),
+            k.beam_cycles.to_string(),
+            if k.strict_win {
+                "strict".into()
+            } else if k.regression {
+                "REGRESSED".into()
+            } else {
+                "tie".into()
+            },
+            format!("{:.3}", k.greedy_s),
+            format!("{:.3}", k.beam_s),
+            k.sim_admitted.to_string(),
+            k.sim_pruned.to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    let _ = writeln!(
+        out,
+        "beam: {} strict win(s), {} regression(s), anytime curves {}",
+        r.strict_wins,
+        r.regressions,
+        if r.all_monotonic {
+            "monotonic"
+        } else {
+            "NON-MONOTONIC"
+        }
+    );
+    out
+}
+
 fn json_f(v: f64) -> String {
     format!("{v:.6}")
 }
@@ -183,6 +396,12 @@ fn json_f(v: f64) -> String {
 /// Serializes the report as `BENCH_dse.json` (no external deps; the
 /// format is flat enough to hand-roll).
 pub fn to_json(r: &BenchReport) -> String {
+    to_json_with_beam(r, None)
+}
+
+/// [`to_json`] with the optional greedy-vs-beam comparison appended as a
+/// `"beam"` object (`pomc bench-dse --beam`).
+pub fn to_json_with_beam(r: &BenchReport, beam: Option<&BeamReport>) -> String {
     let mut s = String::from("{\n  \"kernels\": [\n");
     for (i, k) in r.rows.iter().enumerate() {
         let _ = write!(
@@ -211,12 +430,20 @@ pub fn to_json(r: &BenchReport) -> String {
     let _ = write!(
         s,
         "  ],\n  \"serial_total_s\": {},\n  \"fast_wall_s\": {},\n  \"total_speedup\": {},\n  \
-         \"pool_workers\": {}\n}}\n",
+         \"pool_workers\": {}",
         json_f(r.serial_total_s),
         json_f(r.fast_wall_s),
         json_f(r.total_speedup),
         r.pool_workers,
     );
+    if let Some(b) = beam {
+        s.push_str(",\n");
+        s.push_str(&beam_to_json(b));
+        s.push('\n');
+    } else {
+        s.push('\n');
+    }
+    s.push_str("}\n");
     s
 }
 

@@ -1,0 +1,184 @@
+//! Search-mode contracts for the DSE front door.
+//!
+//! * Greedy dispatch through the `SearchMode` switch is the identity:
+//!   explicitly requesting `greedy` reproduces the default pipeline's
+//!   schedule, groups, and QoR bit-for-bit on the full 14-kernel suite,
+//!   and leaves the anytime curve empty.
+//! * Beam and portfolio searches are worker-count deterministic: with no
+//!   wall-clock budget, runs at 1, 2, and 8 workers emit byte-identical
+//!   designs and identical anytime curves.
+//! * The portfolio never loses to greedy under the final-design
+//!   simulation metric (the greedy winner is force-admitted past the
+//!   sim-admission band), and its winner carries checked certificates.
+//! * An expired budget still returns a valid, device-fitting design.
+
+use pom::{auto_dse_with, DseConfig, DseResult, Function, MemoryState, SearchMode};
+use pom_bench::experiments::bench_dse::results_identical;
+use pom_bench::experiments::{bench_sim, common::paper_options};
+use pom_bench::kernels;
+
+/// Same deterministic seed the searches and the bench harness use.
+const SIM_SEED: u64 = 0x5EED;
+
+fn simulated_cycles(f: &Function, r: &DseResult, opts: &pom::CompileOptions) -> u64 {
+    let mut mem = MemoryState::for_function_seeded(f, SIM_SEED);
+    pom::simulate(&r.compiled.affine, &r.compiled.deps, &mut mem, &opts.model).cycles
+}
+
+/// The deterministic part of an anytime curve: wall-clock stamps vary
+/// run to run, the visited (cycles, estimate) sequence must not.
+fn curve(r: &DseResult) -> Vec<(u64, u64)> {
+    r.anytime
+        .iter()
+        .map(|p| (p.sim_cycles, p.est_latency))
+        .collect()
+}
+
+#[test]
+fn greedy_dispatch_reproduces_default_on_all_14_kernels() {
+    let opts = paper_options();
+    let default_cfg = DseConfig::default();
+    let greedy_cfg = DseConfig {
+        search: SearchMode::Greedy,
+        ..DseConfig::default()
+    };
+    for (name, f) in bench_sim::suite(32) {
+        let a = auto_dse_with(&f, &opts, &default_cfg).expect("default DSE compiles");
+        let b = auto_dse_with(&f, &opts, &greedy_cfg).expect("greedy DSE compiles");
+        assert!(
+            results_identical(&a, &b),
+            "{name} diverged under --search greedy"
+        );
+        assert!(
+            a.anytime.is_empty(),
+            "{name}: greedy must not record anytime points"
+        );
+        assert_eq!(
+            a.stats.beam_expanded, 0,
+            "{name}: greedy expanded beam states"
+        );
+        assert_eq!(a.stats.sim_admitted, 0, "{name}: greedy ran sim admission");
+    }
+}
+
+#[test]
+fn beam_is_byte_identical_across_worker_counts() {
+    let opts = paper_options();
+    for (name, f) in [("gemm", kernels::gemm(32)), ("blur", kernels::blur(32))] {
+        let runs: Vec<DseResult> = [1usize, 2, 8]
+            .iter()
+            .map(|&w| {
+                let cfg = DseConfig {
+                    search: SearchMode::Beam,
+                    workers: w,
+                    ..DseConfig::default()
+                };
+                auto_dse_with(&f, &opts, &cfg).expect("beam DSE compiles")
+            })
+            .collect();
+        for (i, r) in runs.iter().enumerate().skip(1) {
+            assert!(
+                results_identical(&runs[0], r),
+                "{name}: beam diverged between 1 worker and {} workers",
+                [1, 2, 8][i]
+            );
+            assert_eq!(
+                curve(&runs[0]),
+                curve(r),
+                "{name}: anytime curve diverged between worker counts"
+            );
+            assert_eq!(
+                runs[0].stats.sim_cycles, r.stats.sim_cycles,
+                "{name}: winner sim cycles diverged between worker counts"
+            );
+        }
+    }
+}
+
+#[test]
+fn portfolio_is_worker_count_deterministic() {
+    let opts = paper_options();
+    let f = kernels::gesummv(32);
+    let runs: Vec<DseResult> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| {
+            let cfg = DseConfig {
+                search: SearchMode::Portfolio,
+                workers: w,
+                ..DseConfig::default()
+            };
+            auto_dse_with(&f, &opts, &cfg).expect("portfolio DSE compiles")
+        })
+        .collect();
+    for r in &runs[1..] {
+        assert!(
+            results_identical(&runs[0], r),
+            "portfolio diverged across worker counts"
+        );
+        assert_eq!(
+            curve(&runs[0]),
+            curve(r),
+            "anytime curve diverged across worker counts"
+        );
+    }
+}
+
+#[test]
+fn portfolio_never_loses_to_greedy_and_validates_winner() {
+    let opts = paper_options();
+    let greedy_cfg = DseConfig::default();
+    let beam_cfg = DseConfig {
+        search: SearchMode::Portfolio,
+        ..DseConfig::default()
+    };
+    for (name, f) in [
+        ("gemm", kernels::gemm(32)),
+        ("blur", kernels::blur(32)),
+        ("gaussian", kernels::gaussian(32)),
+    ] {
+        let greedy = auto_dse_with(&f, &opts, &greedy_cfg).expect("greedy DSE compiles");
+        let beam = auto_dse_with(&f, &opts, &beam_cfg).expect("portfolio DSE compiles");
+        let gc = simulated_cycles(&f, &greedy, &opts);
+        let bc = simulated_cycles(&f, &beam, &opts);
+        assert!(
+            bc <= gc,
+            "{name}: portfolio ({bc} cycles) lost to its own greedy seed ({gc} cycles)"
+        );
+        assert!(
+            beam.stats.certificates_checked > 0,
+            "{name}: portfolio winner shipped without checked certificates"
+        );
+        assert!(
+            beam.anytime
+                .windows(2)
+                .all(|w| w[1].sim_cycles < w[0].sim_cycles),
+            "{name}: anytime curve is not strictly improving"
+        );
+        let u = &beam.compiled.qor.resources;
+        let d = &opts.device;
+        assert!(
+            u.dsp <= d.dsp && u.ff <= d.ff && u.lut <= d.lut,
+            "{name}: portfolio winner does not fit the device"
+        );
+    }
+}
+
+#[test]
+fn expired_budget_returns_valid_best_so_far() {
+    let opts = paper_options();
+    let cfg = DseConfig {
+        search: SearchMode::Beam,
+        budget_ms: Some(1),
+        ..DseConfig::default()
+    };
+    let f = kernels::gemm(32);
+    let r = auto_dse_with(&f, &opts, &cfg).expect("budgeted beam DSE compiles");
+    assert!(r.stats.budget_expired, "1 ms budget did not expire");
+    let u = &r.compiled.qor.resources;
+    let d = &opts.device;
+    assert!(
+        u.dsp <= d.dsp && u.ff <= d.ff && u.lut <= d.lut,
+        "best-so-far does not fit"
+    );
+    assert!(!r.function.to_string().is_empty());
+}

@@ -62,8 +62,8 @@ pub use pom_verify as verify;
 
 pub use pom_dse::{
     auto_dse, auto_dse_with, auto_dse_with_cache, baselines, compile, fingerprint, lint_report,
-    ArtifactStore, CompileError, CompileOptions, Compiled, DseCache, DseConfig, DseResult,
-    DseStats, GroupConfig,
+    AnytimePoint, ArtifactStore, CompileError, CompileOptions, Compiled, DseCache, DseConfig,
+    DseResult, DseStats, GroupConfig, SearchMode,
 };
 pub use pom_dsl::{
     reference_execute, ArrayData, Compute, DataType, Expr, Function, MemoryState, PartitionStyle,

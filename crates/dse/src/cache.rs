@@ -343,6 +343,12 @@ pub struct DseCache {
     /// cannot round-trip through the store — the serving layer persists
     /// its *rendered* responses instead (`Kind::Full`).
     full: Mutex<Bounded<u64, Arc<Compiled>>>,
+    /// Simulated cycle counts of full schedules, keyed by the scheduled
+    /// fingerprint — the beam search's frontier states. Memory-only: the
+    /// count is only meaningful under this process's fixed seed/model,
+    /// and a shared (daemon) cache re-serves it across beam searches of
+    /// structurally repeated kernels.
+    sim: Mutex<Bounded<u64, u64>>,
     /// Optional persistent spill/reload backing (see module docs).
     store: Option<Arc<ArtifactStore>>,
     hits: AtomicUsize,
@@ -370,6 +376,7 @@ impl DseCache {
             dep_templates: Mutex::new(Bounded::new(cap)),
             bram: Mutex::new(Bounded::new(cap)),
             full: Mutex::new(Bounded::new(cap)),
+            sim: Mutex::new(Bounded::new(cap)),
             store: None,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
@@ -415,6 +422,24 @@ impl DseCache {
             + locked(&self.dep_templates).len()
             + locked(&self.bram).len()
             + locked(&self.full).len()
+            + locked(&self.sim).len()
+    }
+
+    /// Memoized simulated-cycle count of one full schedule, keyed by its
+    /// scheduled [`fingerprint`]. Memory-only (see the field docs); the
+    /// traffic counts toward `hits`/`misses` like any candidate-level
+    /// lookup. The caller owns seeding discipline: every count cached
+    /// here must come from the same deterministic seed and cost model.
+    pub fn memo_sim(&self, key: u64, compute: impl FnOnce() -> u64) -> u64 {
+        if let Some(&v) = locked(&self.sim).get(&key) {
+            self.record(true);
+            return v;
+        }
+        let v = compute();
+        self.record(false);
+        let n = locked(&self.sim).insert(key, v);
+        self.evicted(n);
+        v
     }
 
     fn record(&self, hit: bool) {

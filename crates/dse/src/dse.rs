@@ -21,6 +21,10 @@ pub struct DseResult {
     /// Wall-clock DSE time (the paper's "DSE Time(s)" column — the
     /// toolchain's runtime, since MLIR→HLS C code generation is <0.1 s).
     pub dse_time: Duration,
+    /// The anytime incumbent trajectory of a beam/portfolio search (one
+    /// point per strict simulated-cycles improvement, in time order).
+    /// Empty under greedy search.
+    pub anytime: Vec<crate::search::beam::AnytimePoint>,
 }
 
 impl DseResult {
@@ -134,10 +138,18 @@ fn auto_dse_impl(
     let t1 = Instant::now();
     let stage1 = dependence_aware_transform(f, cfg.stage1_max_iters);
     let stage1_time = t1.elapsed();
-    let s2 = bottleneck_optimize_impl(&stage1, opts, cfg, cache, &acc)?;
+    let s2 = match cfg.search {
+        crate::stage2::SearchMode::Greedy => {
+            bottleneck_optimize_impl(&stage1, opts, cfg, cache, &acc)?
+        }
+        crate::stage2::SearchMode::Beam | crate::stage2::SearchMode::Portfolio => {
+            crate::search::beam::beam_optimize_impl(&stage1, opts, cfg, cache, &acc)?
+        }
+    };
     let mut scheduled = s2.function;
     let mut groups = s2.groups;
     let mut stats = s2.stats;
+    let anytime = s2.anytime;
     // The final compiles can reuse the search's full-function dependence
     // template: a pipeline-II retarget never changes the dependences.
     let mut full_template =
@@ -151,7 +163,10 @@ fn auto_dse_impl(
     // so ties preserve the estimator's winner; this runs before the II
     // retarget and winner validation, which then see the re-ranked
     // schedule exactly like the default path.
-    if cfg.sim_rerank_top_k > 0 {
+    // The beam modes measure candidates during the search itself, so the
+    // finalist re-rank only applies to the greedy descent (which records
+    // finalists; the beam returns none).
+    if cfg.sim_rerank_top_k > 0 && cfg.search == crate::stage2::SearchMode::Greedy {
         const SIM_SEED: u64 = 0x5EED;
         let t_sim = Instant::now();
         let measure = |c: &Compiled| {
@@ -273,6 +288,7 @@ fn auto_dse_impl(
         groups,
         stats,
         dse_time,
+        anytime,
     })
 }
 
@@ -304,8 +320,9 @@ impl CacheSnapshot {
     }
 }
 
-/// Full-function compile through the cache when one is active.
-fn full_compile(
+/// Full-function compile through the cache when one is active. Shared
+/// with the beam search's sim-admission pass.
+pub(crate) fn full_compile(
     cache: Option<&DseCache>,
     f: &Function,
     opts: &CompileOptions,

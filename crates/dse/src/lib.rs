@@ -19,9 +19,11 @@ pub mod baselines;
 pub mod cache;
 pub mod compile;
 pub mod dse;
+pub mod search;
 pub mod stage1;
-pub mod stage2;
 pub mod store;
+
+pub use search::stage2;
 
 pub use baselines::{pluto_like, polsca_like, scalehls_like, unoptimized, BaselineResult};
 pub use cache::{
@@ -29,9 +31,10 @@ pub use cache::{
 };
 pub use compile::{compile, compile_timed, lint_report, CompileError, CompileOptions, Compiled};
 pub use dse::{auto_dse, auto_dse_with, auto_dse_with_cache, DseResult};
+pub use search::beam::AnytimePoint;
 pub use stage1::dependence_aware_transform;
 pub use stage2::{
     bottleneck_optimize, bottleneck_optimize_with, try_bottleneck_optimize_with, DseConfig,
-    DseStats, GroupConfig, Stage2Result,
+    DseStats, GroupConfig, SearchMode, Stage2Result,
 };
 pub use store::ArtifactStore;

@@ -1,0 +1,20 @@
+//! Search strategies over the stage-2 configuration space.
+//!
+//! * [`stage2`] — the paper's greedy bottleneck-oriented descent
+//!   (Section VI-B): escalate the parallelism of the latency-critical
+//!   group until a resource ceiling, then repair.
+//! * [`beam`] — an anytime parallel beam search over the same
+//!   [`GroupConfig`](stage2::GroupConfig) space, re-ranked by simulated
+//!   cycles from `pom-sim`, with a portfolio mode that seeds the beam
+//!   from the greedy winner and the baseline strategies' schedules.
+//!
+//! Both searches share the memoized compile cache, the scoped worker
+//! pool, and the finalization path (resource repair, bank repair, winner
+//! validation), so a mode switch changes only which schedules are
+//! explored — never how a winner is compiled or certified.
+
+pub mod beam;
+pub mod stage2;
+
+pub use beam::AnytimePoint;
+pub use stage2::SearchMode;

@@ -18,7 +18,7 @@ use crate::compile::{
 use pom_dsl::{Function, PartitionStyle, Primitive};
 use pom_graph::DepGraph;
 use pom_poly::{DepKind, StmtPoly};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -103,6 +103,21 @@ pub struct DseStats {
     /// Polyhedral-kernel counters (FM eliminations, fan-out combinations,
     /// projection-memo hits) accumulated across the whole search.
     pub poly: pom_poly::PolyStats,
+    /// Expansion waves the beam search ran (0 under greedy search).
+    pub beam_depth: usize,
+    /// Widest frontier the beam search actually held (0 under greedy).
+    pub beam_width: usize,
+    /// Successor states the beam search evaluated across all waves.
+    pub beam_expanded: usize,
+    /// Frontier states admitted to full-schedule simulation by the
+    /// sim-admission band ([`DseConfig::sim_admit_pct`]).
+    pub sim_admitted: usize,
+    /// Frontier survivors *not* simulated because their analytical
+    /// estimate fell outside the admission band of the incumbent.
+    pub sim_pruned: usize,
+    /// True when [`DseConfig::budget_ms`] expired before the beam search
+    /// exhausted its frontier — the result is the anytime best-so-far.
+    pub budget_expired: bool,
 }
 
 /// The outcome of [`bottleneck_optimize_with`]: the fully scheduled
@@ -120,6 +135,10 @@ pub struct Stage2Result {
     /// positive (capped at that many snapshots); the final configuration
     /// in `groups` is *not* duplicated here unless an accept produced it.
     pub finalists: Vec<Vec<GroupConfig>>,
+    /// The anytime incumbent trajectory of a beam/portfolio search:
+    /// one point per strict incumbent improvement, in time order. Empty
+    /// under greedy search (see [`crate::search::beam::AnytimePoint`]).
+    pub anytime: Vec<crate::search::beam::AnytimePoint>,
 }
 
 /// The tiling/unrolling configuration of one node (fusion group).
@@ -135,6 +154,51 @@ pub struct GroupConfig {
     pub extents: Vec<i64>,
     /// Current tile (unroll factor) per level; 1 = not unrolled.
     pub tiles: Vec<i64>,
+}
+
+/// Which stage-2 search explores the configuration space.
+#[derive(Clone, Copy, Debug, Default, Hash, PartialEq, Eq)]
+pub enum SearchMode {
+    /// The paper's greedy bottleneck-oriented descent (Section VI-B).
+    /// The default — byte-identical to the pre-beam search.
+    #[default]
+    Greedy,
+    /// Anytime parallel beam search over the same space, re-ranked by
+    /// simulated cycles ([`crate::search::beam`]).
+    Beam,
+    /// [`SearchMode::Beam`] seeded from the greedy winner plus the
+    /// pluto/polsca/scalehls baseline schedules (diverse basins).
+    Portfolio,
+}
+
+impl SearchMode {
+    /// Every accepted mode name, in CLI presentation order.
+    pub const MODES: [&'static str; 3] = ["greedy", "beam", "portfolio"];
+
+    /// Parses a CLI mode name.
+    pub fn parse(s: &str) -> Option<SearchMode> {
+        match s {
+            "greedy" => Some(SearchMode::Greedy),
+            "beam" => Some(SearchMode::Beam),
+            "portfolio" => Some(SearchMode::Portfolio),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of the mode.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SearchMode::Greedy => "greedy",
+            SearchMode::Beam => "beam",
+            SearchMode::Portfolio => "portfolio",
+        }
+    }
+}
+
+impl std::fmt::Display for SearchMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// User-tunable DSE strategy parameters — the paper's "set of types and
@@ -223,6 +287,28 @@ pub struct DseConfig {
     /// a claim about the storage a folding backend would need — POM007
     /// reports the same opportunity as a lint warning regardless.
     pub contract_buffers: bool,
+    /// Which search explores the stage-2 space. [`SearchMode::Greedy`]
+    /// (the default) is byte-identical to the pre-beam search; the beam
+    /// modes trade more compile/simulate work for schedules the greedy
+    /// descent's single trajectory cannot reach.
+    pub search: SearchMode,
+    /// Frontier width of the beam search (ignored under greedy). Each
+    /// expansion wave keeps this many states, ranked by the analytical
+    /// estimate with simulated incumbents pinned first.
+    pub beam_width: usize,
+    /// Anytime wall-clock budget for the beam search: when it expires the
+    /// search stops at the next deadline check (before each candidate
+    /// compile and each simulation) and returns the best-so-far incumbent
+    /// with its verify certificate. `None` (the default) runs the beam to
+    /// frontier exhaustion. Ignored under greedy search.
+    pub budget_ms: Option<u64>,
+    /// Sim-admission band, in percent: a frontier survivor is simulated
+    /// only when its analytical estimate is within this fraction above
+    /// the best estimate seen so far (`est <= best * (100 + pct) / 100`).
+    /// Bounds full-schedule simulation cost to the states that could
+    /// plausibly win; survivors outside the band are counted in
+    /// [`DseStats::sim_pruned`] and keep their estimate ranking.
+    pub sim_admit_pct: u32,
 }
 
 impl Default for DseConfig {
@@ -242,6 +328,10 @@ impl Default for DseConfig {
             validate_sample_every: 0,
             sim_rerank_top_k: 0,
             contract_buffers: false,
+            search: SearchMode::Greedy,
+            beam_width: 4,
+            budget_ms: None,
+            sim_admit_pct: 15,
         }
     }
 }
@@ -644,7 +734,7 @@ pub fn try_bottleneck_optimize_with(
 }
 
 /// One candidate's evaluation outcome.
-enum CandidateEval {
+pub(crate) enum CandidateEval {
     /// Discarded by the lint prescreen before estimation.
     Pruned,
     /// Discarded by the bank-conflict prescreen before estimation.
@@ -656,7 +746,11 @@ enum CandidateEval {
 /// Evaluates `0..n` with `f` on up to `workers` scoped threads, returning
 /// results in index order — the caller's selection logic is therefore
 /// independent of completion order.
-fn run_indexed<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+pub(crate) fn run_indexed<T: Send>(
+    n: usize,
+    workers: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
     if workers <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
@@ -693,7 +787,7 @@ fn run_indexed<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Sync)
 /// replays the seed's cost profile (separate `lint_screen` +
 /// `group_compile`, each paying schedule replay and dependence analysis).
 #[allow(clippy::too_many_arguments)]
-fn eval_candidate(
+pub(crate) fn eval_candidate(
     stage1_fn: &Function,
     fp: u64,
     groups: &[GroupConfig],
@@ -784,7 +878,7 @@ fn eval_candidate(
 /// A group's scheduled sub-function with its transformed statements and
 /// dependence summary — the shared intermediates of the feasibility check
 /// and the estimate.
-struct PreparedGroup {
+pub(crate) struct PreparedGroup {
     scheduled: Function,
     stmts: Vec<StmtPoly>,
     deps: pom_hls::DepSummary,
@@ -792,7 +886,7 @@ struct PreparedGroup {
 
 /// Extracts and schedules a group's sub-function (the cheap half of a
 /// candidate evaluation — no polyhedral dependence analysis yet).
-fn scheduled_group(base: &Function, group: &GroupConfig, acc: &PhaseAccum) -> Function {
+pub(crate) fn scheduled_group(base: &Function, group: &GroupConfig, acc: &PhaseAccum) -> Function {
     let t0 = Instant::now();
     let members: Vec<&str> = group.members.iter().map(String::as_str).collect();
     let sub = sub_function(base, &members);
@@ -806,7 +900,7 @@ fn scheduled_group(base: &Function, group: &GroupConfig, acc: &PhaseAccum) -> Fu
 
 /// The expensive half: schedule replay + polyhedral dependence analysis
 /// over the already-scheduled sub-function.
-fn prepare_scheduled(
+pub(crate) fn prepare_scheduled(
     scheduled: Function,
     opts: &CompileOptions,
     acc: &PhaseAccum,
@@ -872,7 +966,7 @@ fn dep_template(
 /// [`prepare_scheduled`] that reuses the group's dependence-summary
 /// template when one is available, skipping the polyhedral dependence
 /// analysis — the dominant cost of a candidate evaluation.
-fn prepare_candidate(
+pub(crate) fn prepare_candidate(
     stage1_fn: &Function,
     cand: &GroupConfig,
     scheduled: Function,
@@ -952,12 +1046,12 @@ pub(crate) fn full_dep_template(
 
 impl PreparedGroup {
     /// POM001 verdict on the already-analyzed schedule.
-    fn infeasible(&self, _opts: &CompileOptions) -> bool {
+    pub(crate) fn infeasible(&self, _opts: &CompileOptions) -> bool {
         schedule_carries_infeasible_ii(&self.scheduled, &self.deps)
     }
 
     /// Lowers + estimates, reusing the prepared statements and deps.
-    fn estimate(
+    pub(crate) fn estimate(
         self,
         opts: &CompileOptions,
         acc: &PhaseAccum,
@@ -984,7 +1078,9 @@ pub(crate) fn bottleneck_optimize_impl(
     let workers = cfg.effective_workers();
     let mut dse_stats = DseStats::default();
     let mut groups = plan_groups(stage1_fn);
-    let mut finalists: Vec<Vec<GroupConfig>> = Vec::new();
+    // Ring buffer of the trailing K accepts: pop_front is O(1), and the
+    // pop runs inside the hot accept path of every escalation step.
+    let mut finalists: VecDeque<Vec<GroupConfig>> = VecDeque::new();
 
     // Initial per-group stats, evaluated concurrently when allowed.
     let initial = run_indexed(groups.len(), workers, |i| match cache {
@@ -1157,9 +1253,9 @@ pub(crate) fn bottleneck_optimize_impl(
                     // estimator, so the most recent accepts are the ones
                     // worth measuring.
                     if finalists.len() == cfg.sim_rerank_top_k {
-                        finalists.remove(0);
+                        finalists.pop_front();
                     }
-                    finalists.push(groups.clone());
+                    finalists.push_back(groups.clone());
                 }
             }
             None => {
@@ -1168,15 +1264,61 @@ pub(crate) fn bottleneck_optimize_impl(
         }
     }
 
+    let function = repair_and_finalize(
+        stage1_fn,
+        &mut groups,
+        opts,
+        cfg,
+        cache,
+        acc,
+        &mut dse_stats,
+    )?;
+    dse_stats.stage2_time = t_stage2.elapsed();
+    if let Some(c) = cache {
+        dse_stats.cache_hits = c.hits();
+        dse_stats.cache_misses = c.misses();
+        dse_stats.cache_evictions = c.evictions();
+        dse_stats.cache_entries = c.entries();
+        if let Some(s) = c.store() {
+            dse_stats.store_hits = s.hits();
+            dse_stats.store_misses = s.misses();
+            dse_stats.store_writes = s.writes();
+        }
+    }
+    dse_stats.lowering_time = acc.lowering();
+    dse_stats.estimation_time = acc.estimation();
+    Ok(Stage2Result {
+        function,
+        groups,
+        stats: dse_stats,
+        finalists: finalists.into(),
+        anytime: Vec::new(),
+    })
+}
+
+/// The shared tail of every stage-2 search: the resource-repair
+/// walk-back, bank repair, and the final schedule build. Factored out so
+/// the beam winner is repaired, repartitioned, and materialized by
+/// exactly the code the greedy descent uses — a mode switch can never
+/// change how a winner becomes a function.
+pub(crate) fn repair_and_finalize(
+    stage1_fn: &Function,
+    groups: &mut [GroupConfig],
+    opts: &CompileOptions,
+    cfg: &DseConfig,
+    cache: Option<&DseCache>,
+    acc: &PhaseAccum,
+    dse_stats: &mut DseStats,
+) -> Result<Function, CompileError> {
     // Final repair: the incremental per-group check cannot see globally
     // accumulated overheads (every array's partition muxing exists once in
     // the full design). Re-estimate the complete function and, while it
     // exceeds the device, walk back the most parallel group one step. The
     // fitting iteration's compile stays in the cache, so `auto_dse_with`
     // reuses it instead of recompiling the same schedule.
-    let full_template = cache.and_then(|c| full_dep_template(stage1_fn, &groups, c, opts, acc));
+    let full_template = cache.and_then(|c| full_dep_template(stage1_fn, groups, c, opts, acc));
     loop {
-        let scheduled = schedule_for(stage1_fn, &groups);
+        let scheduled = schedule_for(stage1_fn, groups);
         let full = match cache {
             Some(c) => c
                 .compile_full(&scheduled, opts, acc, full_template.as_deref())?
@@ -1216,7 +1358,7 @@ pub(crate) fn bottleneck_optimize_impl(
     // tile-derived partitioning on lowering (last directive wins).
     let mut bank_overrides: Vec<(String, Vec<i64>)> = Vec::new();
     if cfg.bank_repair {
-        let scheduled = schedule_for(stage1_fn, &groups);
+        let scheduled = schedule_for(stage1_fn, groups);
         let stmts = apply_schedule(&scheduled);
         if let Ok(func) = lower(&scheduled, &stmts) {
             let ports = opts.model.ports_per_bank.max(1);
@@ -1249,30 +1391,11 @@ pub(crate) fn bottleneck_optimize_impl(
         dse_stats.bank_repaired = bank_overrides.len();
     }
 
-    dse_stats.stage2_time = t_stage2.elapsed();
-    if let Some(c) = cache {
-        dse_stats.cache_hits = c.hits();
-        dse_stats.cache_misses = c.misses();
-        dse_stats.cache_evictions = c.evictions();
-        dse_stats.cache_entries = c.entries();
-        if let Some(s) = c.store() {
-            dse_stats.store_hits = s.hits();
-            dse_stats.store_misses = s.misses();
-            dse_stats.store_writes = s.writes();
-        }
-    }
-    dse_stats.lowering_time = acc.lowering();
-    dse_stats.estimation_time = acc.estimation();
-    let mut function = schedule_for(stage1_fn, &groups);
+    let mut function = schedule_for(stage1_fn, groups);
     for (array, factors) in &bank_overrides {
         function.partition(array, factors, PartitionStyle::Cyclic);
     }
-    Ok(Stage2Result {
-        function,
-        groups,
-        stats: dse_stats,
-        finalists,
-    })
+    Ok(function)
 }
 
 /// True when swapping `cand` in for group `bottleneck` would introduce a
@@ -1314,7 +1437,7 @@ pub(crate) fn lint_screen(
 
 /// The BRAM18K units a scheduled function's arrays map to, mirroring the
 /// estimator's (and POM003's) accounting.
-fn bram_of(f: &Function) -> u64 {
+pub(crate) fn bram_of(f: &Function) -> u64 {
     let mut banks: BTreeMap<&str, u64> = BTreeMap::new();
     for p in f.schedule() {
         if let Primitive::Partition { array, factors, .. } = p {
@@ -1367,7 +1490,11 @@ pub(crate) fn bank_infeasible(base: &Function, group: &GroupConfig, opts: &Compi
 
 /// True when the group's schedule declares a pipeline II below the
 /// recurrence MII of a dependence carried at the pipelined loop.
-fn pipeline_infeasible(base: &Function, group: &GroupConfig, opts: &CompileOptions) -> bool {
+pub(crate) fn pipeline_infeasible(
+    base: &Function,
+    group: &GroupConfig,
+    opts: &CompileOptions,
+) -> bool {
     let members: Vec<&str> = group.members.iter().map(String::as_str).collect();
     let sub = sub_function(base, &members);
     let scheduled = schedule_for(&sub, std::slice::from_ref(group));
@@ -1392,7 +1519,7 @@ pub fn group_compile(
 }
 
 /// [`group_compile`] propagating errors and accumulating phase times.
-fn group_compile_timed(
+pub(crate) fn group_compile_timed(
     base: &Function,
     group: &GroupConfig,
     opts: &CompileOptions,

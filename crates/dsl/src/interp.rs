@@ -73,6 +73,14 @@ impl ArrayData {
         let f = self.flat_index(idx);
         self.data[f] = value;
     }
+
+    /// Overwrites every element with `f(flat_index)` in place, reusing
+    /// the existing allocation (the shape is unchanged).
+    pub fn refill(&mut self, f: impl Fn(usize) -> f64) {
+        for (i, v) in self.data.iter_mut().enumerate() {
+            *v = f(i);
+        }
+    }
 }
 
 impl fmt::Display for ArrayData {
@@ -108,22 +116,38 @@ impl MemoryState {
     /// optimized executions start identical.
     pub fn for_function_seeded(f: &Function, seed: u64) -> Self {
         let mut s = Self::new();
+        s.reseed_for_function(f, seed);
+        s
+    }
+
+    /// Resets this state to exactly [`MemoryState::for_function_seeded`]
+    /// contents, reusing the existing allocation of every array whose
+    /// shape is unchanged. Arrays not among `f`'s placeholders are
+    /// dropped, so back-to-back simulations through one reused state see
+    /// identical initial memory. This is the allocation-free path batch
+    /// simulation (`pom-sim`'s arena) leans on.
+    pub fn reseed_for_function(&mut self, f: &Function, seed: u64) {
+        self.arrays
+            .retain(|name, _| f.placeholders().iter().any(|p| p.name() == name));
         for p in f.placeholders() {
             let name_salt: u64 = p.name().bytes().map(u64::from).sum();
-            s.arrays.insert(
-                p.name().to_string(),
-                ArrayData::from_fn(p.shape(), |i| {
-                    let mut x = (i as u64)
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add(seed ^ name_salt);
-                    x ^= x >> 29;
-                    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                    x ^= x >> 32;
-                    ((x % 1000) as f64) / 100.0 - 5.0
-                }),
-            );
+            let fill = |i: usize| {
+                let mut x = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(seed ^ name_salt);
+                x ^= x >> 29;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 32;
+                ((x % 1000) as f64) / 100.0 - 5.0
+            };
+            match self.arrays.get_mut(p.name()) {
+                Some(a) if a.shape() == p.shape() => a.refill(fill),
+                _ => {
+                    self.arrays
+                        .insert(p.name().to_string(), ArrayData::from_fn(p.shape(), fill));
+                }
+            }
         }
-        s
     }
 
     /// Inserts a zero-filled array for a placeholder.

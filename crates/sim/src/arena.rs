@@ -1,0 +1,133 @@
+//! Batch simulation through one reusable interpreter arena.
+//!
+//! A DSE search that measures many candidate schedules of the *same*
+//! source function simulates over the same placeholder set every time —
+//! only the schedule differs. Allocating a fresh [`MemoryState`] per
+//! candidate pays an allocation and a full seeding pass for every array
+//! on every measurement. The arena keeps one state alive and re-seeds it
+//! in place between simulations ([`MemoryState::reseed_for_function`]),
+//! so back-to-back measurements reuse the allocations while still seeing
+//! bit-identical initial memory.
+
+use crate::engine::simulate;
+use crate::report::SimReport;
+use pom_dsl::{Function, MemoryState};
+use pom_hls::{CostModel, DepSummary};
+use pom_ir::AffineFunc;
+
+/// A reusable simulation arena: one [`MemoryState`] re-seeded in place
+/// before every run, so a batch of simulations allocates array storage
+/// once.
+#[derive(Debug, Default)]
+pub struct SimArena {
+    mem: MemoryState,
+}
+
+impl SimArena {
+    /// An empty arena; the first [`SimArena::simulate`] allocates.
+    pub fn new() -> SimArena {
+        SimArena::default()
+    }
+
+    /// Simulates `func` over memory seeded to exactly
+    /// [`MemoryState::for_function_seeded`]`(src, seed)`, reusing this
+    /// arena's allocations. Equivalent to a fresh-state
+    /// [`crate::simulate`] call — same cycles, same report.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`crate::simulate`].
+    pub fn simulate(
+        &mut self,
+        src: &Function,
+        seed: u64,
+        func: &AffineFunc,
+        deps: &DepSummary,
+        model: &CostModel,
+    ) -> SimReport {
+        self.mem.reseed_for_function(src, seed);
+        simulate(func, deps, &mut self.mem, model)
+    }
+}
+
+/// Simulates every `(func, deps)` pair through one arena, in order,
+/// each over identically seeded memory. The batch entry point for
+/// sim-in-the-loop searches that already hold their candidates' lowered
+/// forms.
+pub fn simulate_batch<'a>(
+    src: &Function,
+    seed: u64,
+    jobs: impl IntoIterator<Item = (&'a AffineFunc, &'a DepSummary)>,
+    model: &CostModel,
+) -> Vec<SimReport> {
+    let mut arena = SimArena::new();
+    jobs.into_iter()
+        .map(|(f, d)| arena.simulate(src, seed, f, d, model))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pom_dsl::{DataType, Expr};
+    use pom_ir::{AffineOp, ForOp, HlsAttrs, MemRefDecl, StoreOp};
+    use pom_poly::{AccessFn, Bound, LinearExpr};
+
+    /// `for i in 0..n: acc[0] += x[i]`, pipelined — plus the matching
+    /// DSL function (placeholders only; the arena seeds from these).
+    fn accumulate(n: usize) -> (Function, AffineFunc) {
+        let mut src = Function::new("acc");
+        src.placeholder("acc", &[1], DataType::F32);
+        src.placeholder("x", &[n], DataType::F32);
+
+        let mut f = AffineFunc::new("acc");
+        f.memrefs.push(MemRefDecl::new("acc", &[1], DataType::F32));
+        f.memrefs.push(MemRefDecl::new("x", &[n], DataType::F32));
+        let value = Expr::Load(AccessFn::new("acc", vec![LinearExpr::zero()]))
+            + Expr::Load(AccessFn::new("x", vec![LinearExpr::var("i")]));
+        let mut l = ForOp {
+            extra: Vec::new(),
+            iv: "i".into(),
+            lbs: vec![Bound::new(LinearExpr::constant_expr(0), 1)],
+            ubs: vec![Bound::new(LinearExpr::constant_expr(n as i64 - 1), 1)],
+            attrs: HlsAttrs::none(),
+            body: vec![AffineOp::Store(StoreOp {
+                stmt: "S".into(),
+                dest: AccessFn::new("acc", vec![LinearExpr::zero()]),
+                value,
+            })],
+        };
+        l.attrs.pipeline_ii = Some(1);
+        f.body.push(AffineOp::For(l));
+        (src, f)
+    }
+
+    #[test]
+    fn arena_matches_fresh_state_simulation() {
+        let (src, func) = accumulate(64);
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let mut fresh = MemoryState::for_function_seeded(&src, 7);
+        let want = simulate(&func, &deps, &mut fresh, &model);
+
+        let mut arena = SimArena::new();
+        // Twice through the arena: the second run must see re-seeded
+        // memory, not the first run's output state.
+        let r1 = arena.simulate(&src, 7, &func, &deps, &model);
+        let r2 = arena.simulate(&src, 7, &func, &deps, &model);
+        assert_eq!(r1.cycles, want.cycles);
+        assert_eq!(r2.cycles, want.cycles);
+        assert_eq!(r1.stall_port, want.stall_port);
+        assert_eq!(r2.stall_dep, want.stall_dep);
+    }
+
+    #[test]
+    fn batch_simulates_each_job_over_identical_initial_memory() {
+        let (src, func) = accumulate(32);
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let reports = simulate_batch(&src, 42, [(&func, &deps), (&func, &deps)], &model);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].cycles, reports[1].cycles);
+    }
+}

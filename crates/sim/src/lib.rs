@@ -23,13 +23,19 @@
 //!
 //! The entry point is [`simulate`]; results come back as a
 //! [`SimReport`] with total cycles, stall attribution (dependence /
-//! port / drain), and per-pipelined-loop [`LoopSim`] statistics.
+//! port / drain), and per-pipelined-loop [`LoopSim`] statistics. For
+//! sim-in-the-loop searches that measure many schedules of one source
+//! function, [`SimArena`] / [`simulate_batch`] reuse a single
+//! interpreter memory arena across runs (re-seeded in place), so a
+//! batch allocates array storage once.
 
 #![warn(missing_docs)]
 
+mod arena;
 mod engine;
 mod report;
 
+pub use arena::{simulate_batch, SimArena};
 pub use engine::simulate;
 pub use report::{ArrayOccupancy, BankStall, LoopSim, SimReport};
 
