@@ -4,10 +4,11 @@
 //! the requested artefact:
 //!
 //! ```text
-//! pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim|live|cache]
-//!               [--no-dse] [--store DIR] [--store-max-bytes BYTES] [--daemon SOCKET]
+//! pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim|live|dataflow|cache]
+//!               [--no-dse] [--dataflow] [--store DIR] [--store-max-bytes BYTES] [--daemon SOCKET]
 //! pomc bench-dse [--size N] [--out PATH] [--ceiling SECS]
 //! pomc bench-sim [--size N] [--out PATH]
+//! pomc bench-dataflow [--size N] [--out PATH]
 //! pomc bench-live [--size N] [--out PATH]
 //! pomc bench-serve [--size N] [--repeat N] [--clients N] [--out PATH]
 //! pomc verify-all [--size N] [--sample-every K] [--out PATH]
@@ -28,9 +29,24 @@
 //! `BENCH_serve.json`, and exits nonzero when the warm-vs-cold speedup,
 //! cross-process hit rate, or byte-identity gates fail.
 //!
-//! `--emit lint` runs the `pom-lint` diagnostics suite (POM001–POM009)
+//! `--emit lint` runs the `pom-lint` diagnostics suite (POM001–POM010)
 //! over the compiled design and exits nonzero when any error-severity
-//! diagnostic fires.
+//! diagnostic fires. On multi-nest kernels the run includes a dataflow
+//! co-simulation so the measured channel-pressure check (POM010) has
+//! per-channel stall figures to judge.
+//!
+//! `--emit dataflow` partitions the compiled design into dataflow
+//! stages (`pom-dataflow`), replays every channel-sizing certificate,
+//! co-simulates the stage processes over bounded channels, and prints
+//! the dataflow-vs-sequential cycle comparison. Exits nonzero on memory
+//! divergence, deadlock, or a failed certificate. `--dataflow` turns on
+//! the rate-matching DSE refinement (beam searches only) so the winner
+//! is picked by simulated dataflow cycles. `bench-dataflow` runs the
+//! audit over the whole 14-kernel suite and writes
+//! `BENCH_dataflow.json`; it fails unless memory is bit-identical and
+//! deadlock-free everywhere, every certificate replays, and the
+//! dataflow winner strictly beats the sequential winner's simulated
+//! cycles on vgg16 and resnet18 at an equal resource envelope.
 //!
 //! `--emit live` runs `pom-live`'s whole-function liveness analysis over
 //! the compiled design: per-array live windows, contraction candidates
@@ -72,16 +88,17 @@ use pom::{
     SearchMode,
 };
 use pom_bench::experiments::{
-    bench_dse, bench_live, bench_poly, bench_serve, bench_sim, verify_suite,
+    bench_dataflow, bench_dse, bench_live, bench_poly, bench_serve, bench_sim, verify_suite,
 };
 use pom_bench::serve::kernel_by_name;
 
 /// The artefacts `--emit` can produce, validated before any compilation.
 const EMIT_MODES: &[&str] = &[
-    "dsl", "graph", "ir", "c", "tb", "report", "schedule", "lint", "verify", "sim", "live", "cache",
+    "dsl", "graph", "ir", "c", "tb", "report", "schedule", "lint", "verify", "sim", "live",
+    "dataflow", "cache",
 ];
 
-const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim|live|cache] [--search greedy|beam|portfolio] [--budget-ms MS] [--no-dse] [--store DIR] [--store-max-bytes BYTES] [--daemon SOCKET]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS] [--beam]\n       pomc bench-poly [--iters N] [--out PATH] [--baseline PATH]\n       pomc bench-sim [--size N] [--out PATH]\n       pomc bench-live [--size N] [--out PATH]\n       pomc bench-serve [--size N] [--repeat N] [--clients N] [--out PATH]\n       pomc verify-all [--size N] [--sample-every K] [--out PATH]";
+const USAGE: &str = "usage: pomc <kernel> [--size N] [--emit dsl|graph|ir|c|tb|report|schedule|lint|verify|sim|live|dataflow|cache] [--search greedy|beam|portfolio] [--budget-ms MS] [--no-dse] [--dataflow] [--store DIR] [--store-max-bytes BYTES] [--daemon SOCKET]\n       pomc bench-dse [--size N] [--out PATH] [--ceiling SECS] [--beam]\n       pomc bench-poly [--iters N] [--out PATH] [--baseline PATH]\n       pomc bench-sim [--size N] [--out PATH]\n       pomc bench-dataflow [--size N] [--out PATH]\n       pomc bench-live [--size N] [--out PATH]\n       pomc bench-serve [--size N] [--repeat N] [--clients N] [--out PATH]\n       pomc verify-all [--size N] [--sample-every K] [--out PATH]";
 
 fn bench_poly_main(args: &[String]) -> ! {
     let mut iters = 200usize;
@@ -410,6 +427,49 @@ fn bench_sim_main(args: &[String]) -> ! {
     std::process::exit(if fails.is_empty() { 0 } else { 1 });
 }
 
+fn bench_dataflow_main(args: &[String]) -> ! {
+    let mut size = 64usize;
+    let mut out = "BENCH_dataflow.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size" => {
+                size = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--size expects a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = bench_dataflow::run_suite(size);
+    print!("{}", bench_dataflow::render(&report));
+    if let Err(e) = std::fs::write(&out, bench_dataflow::to_json(&report)) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+    let fails = bench_dataflow::gate(&report);
+    for f in &fails {
+        eprintln!("FAIL: {f}");
+    }
+    std::process::exit(if fails.is_empty() { 0 } else { 1 });
+}
+
 fn bench_live_main(args: &[String]) -> ! {
     let mut size = 32usize;
     let mut out = "LIVE_report.json".to_string();
@@ -471,6 +531,9 @@ fn main() {
     if kernel == "bench-sim" {
         bench_sim_main(&args[1..]);
     }
+    if kernel == "bench-dataflow" {
+        bench_dataflow_main(&args[1..]);
+    }
     if kernel == "bench-serve" {
         bench_serve_main(&args[1..]);
     }
@@ -480,6 +543,7 @@ fn main() {
     let mut size = 256usize;
     let mut emit = "report".to_string();
     let mut use_dse = true;
+    let mut dataflow = false;
     let mut search = "greedy".to_string();
     let mut budget_ms: Option<u64> = None;
     let mut store: Option<std::path::PathBuf> = None;
@@ -507,6 +571,10 @@ fn main() {
             }
             "--no-dse" => {
                 use_dse = false;
+                i += 1;
+            }
+            "--dataflow" => {
+                dataflow = true;
                 i += 1;
             }
             "--search" => {
@@ -610,6 +678,16 @@ fn main() {
         eprintln!("--search {search} runs inside the DSE; it cannot be combined with --no-dse");
         std::process::exit(2);
     }
+    if dataflow && !use_dse {
+        eprintln!("--dataflow runs inside the DSE; it cannot be combined with --no-dse");
+        std::process::exit(2);
+    }
+    if dataflow && search == SearchMode::Greedy {
+        eprintln!(
+            "--dataflow rate-matching rides on the bounded searches; pass --search beam|portfolio"
+        );
+        std::process::exit(2);
+    }
 
     let Some(f) = kernel_by_name(kernel, size) else {
         eprintln!("unknown kernel {kernel}\n{USAGE}");
@@ -623,6 +701,7 @@ fn main() {
         store_max_bytes,
         search,
         budget_ms,
+        dataflow,
         ..DseConfig::default()
     };
     let dse = if use_dse {
@@ -795,6 +874,80 @@ fn main() {
                 }
             }
             if sim_mem != interp_mem {
+                std::process::exit(1);
+            }
+        }
+        "dataflow" => {
+            let compiled = driver.compile(&scheduled);
+            let live = pom::live::analyze_func(&compiled.affine);
+            let plan = pom::partition_dataflow(&scheduled, &compiled.affine, &live);
+            print!("{}", plan.render());
+            // Replay every channel-sizing certificate on the spot: the
+            // printed depths are never a static-only claim.
+            let mem0 = pom::seeded_memory(&compiled.affine, 42);
+            let certs = pom::channel_certificates(&compiled.affine, &plan, &mem0);
+            let mut cert_failed = false;
+            for c in &certs {
+                for o in &c.obligations {
+                    let ok = o.status == pom::verify::ObligationStatus::Passed;
+                    cert_failed |= !ok;
+                    println!(
+                        "certificate {}: {} — {}",
+                        if ok { "passed" } else { "FAILED" },
+                        c.rewrite,
+                        o.detail
+                    );
+                }
+            }
+            let mut df_mem = pom::seeded_memory(&compiled.affine, 42);
+            let report = pom::simulate_dataflow(
+                &compiled.affine,
+                &compiled.deps,
+                &plan.stages,
+                &plan.channel_specs(),
+                &mut df_mem,
+                &driver.options.model,
+            );
+            print!("{}", report.render());
+            let mut seq_mem = pom::seeded_memory(&compiled.affine, 42);
+            let seq = pom::simulate(
+                &compiled.affine,
+                &compiled.deps,
+                &mut seq_mem,
+                &driver.options.model,
+            );
+            println!(
+                "sequential cycles: {} ({:.3}x the dataflow {})",
+                seq.cycles,
+                seq.cycles as f64 / report.cycles.max(1) as f64,
+                report.cycles
+            );
+            let mut interp_mem = pom::seeded_memory(&compiled.affine, 42);
+            pom::execute_func(&compiled.affine, &mut interp_mem);
+            println!(
+                "memory vs interpreter: {}",
+                if df_mem == interp_mem {
+                    "bit-identical"
+                } else {
+                    "DIVERGED"
+                }
+            );
+            if let Some(r) = &dse {
+                if dataflow {
+                    println!(
+                        "DSE dataflow: {} rate-matching round(s) over {} stage(s) and \
+                         {} channel(s), winner {} dataflow cycle(s) vs {} sequential, \
+                         {:.3} s refining",
+                        r.stats.dataflow_rounds,
+                        r.stats.dataflow_stages,
+                        r.stats.dataflow_channels,
+                        r.stats.dataflow_cycles,
+                        r.stats.dataflow_seq_cycles,
+                        r.stats.dataflow_time.as_secs_f64()
+                    );
+                }
+            }
+            if df_mem != interp_mem || report.deadlock || cert_failed {
                 std::process::exit(1);
             }
         }

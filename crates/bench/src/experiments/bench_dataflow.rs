@@ -1,0 +1,330 @@
+//! `bench-dataflow` — the whole-suite dataflow pipelining audit.
+//!
+//! Runs the full 14-kernel suite through two DSE configurations — the
+//! sequential default and the dataflow rate-matched mode — and audits
+//! the dataflow execution three ways per kernel:
+//!
+//! 1. **Functional equivalence** — the concurrent-process dataflow
+//!    simulation's final memory must be bit-identical to the affine
+//!    interpreter's on the same seeded inputs, and no schedule may
+//!    deadlock. The channels are bounded and blocking, so this is the
+//!    end-to-end proof that every channel is sized soundly.
+//! 2. **Certificate replay** — every `ChannelSized` obligation the
+//!    partitioner emits must replay: the recorded element streams are
+//!    pushed through the bounded channel model and checked for
+//!    deadlock-freedom and bit-identical values.
+//! 3. **Throughput gate** — on the multi-nest DNNs (`vgg16`,
+//!    `resnet18`) the dataflow winner must *strictly* beat the
+//!    sequential winner's simulated cycles while staying within the
+//!    sequential winner's resource envelope (the refinement only trades
+//!    resources between stages, never grows the total).
+//!
+//! Results render as a table and serialize as `BENCH_dataflow.json` so
+//! the dataflow-overlap trajectory is tracked across PRs.
+
+use crate::experiments::bench_dse::pool_run;
+use crate::experiments::bench_sim::{suite, SIM_SEED};
+use crate::experiments::common::{paper_options, Table};
+use pom::{
+    auto_dse_with, channel_certificates, execute_func, partition_dataflow, seeded_memory, simulate,
+    simulate_dataflow, CompileOptions, DseConfig, Function,
+};
+use std::fmt::Write as _;
+
+/// Kernels the strict dataflow-vs-sequential throughput gate applies to:
+/// the whole-model DNN chains whose layer nests the partitioner overlaps.
+pub const THROUGHPUT_GATED: &[&str] = &["vgg16", "resnet18"];
+
+/// One kernel's dataflow measurement.
+#[derive(Clone, Debug)]
+pub struct KernelDataflow {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Dataflow stages the partitioner cut.
+    pub stages: usize,
+    /// Sized inter-stage channels.
+    pub channels: usize,
+    /// Channels sized as streaming FIFOs (the rest are ping-pong).
+    pub fifos: usize,
+    /// Simulated cycles of the *sequential* DSE winner.
+    pub seq_cycles: u64,
+    /// Simulated dataflow cycles of the dataflow DSE winner.
+    pub df_cycles: u64,
+    /// `seq_cycles / df_cycles`.
+    pub speedup: f64,
+    /// Dataflow memory is bit-identical to the affine interpreter's.
+    pub identical: bool,
+    /// The bounded channels deadlocked (must never happen).
+    pub deadlock: bool,
+    /// Cycles stalled on channel push/pop across all stages.
+    pub stall_channel: u64,
+    /// ChannelSized obligations emitted.
+    pub certs_checked: usize,
+    /// ChannelSized obligations that replayed successfully.
+    pub certs_passed: usize,
+    /// Dataflow winner's resources fit inside the sequential winner's.
+    pub within_envelope: bool,
+    /// This row participates in the strict throughput gate.
+    pub gated: bool,
+}
+
+impl KernelDataflow {
+    /// True when the row violates no gate it participates in.
+    pub fn passes(&self) -> bool {
+        self.identical
+            && !self.deadlock
+            && self.certs_passed == self.certs_checked
+            && (!self.gated || (self.df_cycles < self.seq_cycles && self.within_envelope))
+    }
+}
+
+/// The whole suite's measurements.
+#[derive(Clone, Debug)]
+pub struct DataflowBenchReport {
+    /// One row per kernel, in suite order.
+    pub rows: Vec<KernelDataflow>,
+    /// Problem size the suite ran at.
+    pub size: usize,
+    /// Worker threads used by the cross-kernel pool.
+    pub pool_workers: usize,
+}
+
+/// Measures one kernel: sequential winner simulated sequentially,
+/// dataflow winner partitioned, certified, and co-simulated.
+pub fn measure(kernel: &'static str, f: &Function, opts: &CompileOptions) -> KernelDataflow {
+    let seq = auto_dse_with(f, opts, &DseConfig::default()).expect("sequential DSE compiles");
+    let df_cfg = DseConfig {
+        dataflow: true,
+        ..DseConfig::default()
+    };
+    let df = auto_dse_with(f, opts, &df_cfg).expect("dataflow DSE compiles");
+
+    // Sequential reference: the sequential winner, simulated in order.
+    let mut seq_mem = seeded_memory(&seq.compiled.affine, SIM_SEED);
+    let seq_report = simulate(
+        &seq.compiled.affine,
+        &seq.compiled.deps,
+        &mut seq_mem,
+        &opts.model,
+    );
+
+    // Dataflow execution of the dataflow winner.
+    let live = pom::live::analyze_func(&df.compiled.affine);
+    let plan = partition_dataflow(&df.function, &df.compiled.affine, &live);
+    let mut df_mem = seeded_memory(&df.compiled.affine, SIM_SEED);
+    let report = simulate_dataflow(
+        &df.compiled.affine,
+        &df.compiled.deps,
+        &plan.stages,
+        &plan.channel_specs(),
+        &mut df_mem,
+        &opts.model,
+    );
+    let mut interp_mem = seeded_memory(&df.compiled.affine, SIM_SEED);
+    execute_func(&df.compiled.affine, &mut interp_mem);
+
+    // Replay every channel-sizing certificate.
+    let mem0 = seeded_memory(&df.compiled.affine, SIM_SEED);
+    let certs = channel_certificates(&df.compiled.affine, &plan, &mem0);
+    let certs_checked: usize = certs.iter().map(|c| c.obligations.len()).sum();
+    let certs_passed: usize = certs
+        .iter()
+        .flat_map(|c| &c.obligations)
+        .filter(|o| o.status == pom::verify::ObligationStatus::Passed)
+        .count();
+
+    KernelDataflow {
+        kernel,
+        stages: plan.stages.len(),
+        channels: plan.channels.len(),
+        fifos: plan.channels.iter().filter(|c| !c.spec.pingpong).count(),
+        seq_cycles: seq_report.cycles,
+        df_cycles: report.cycles,
+        speedup: seq_report.cycles as f64 / report.cycles.max(1) as f64,
+        identical: df_mem == interp_mem,
+        deadlock: report.deadlock,
+        stall_channel: report.stall_channel,
+        certs_checked,
+        certs_passed,
+        within_envelope: df
+            .compiled
+            .qor
+            .resources
+            .within(&seq.compiled.qor.resources),
+        gated: THROUGHPUT_GATED.contains(&kernel),
+    }
+}
+
+/// Runs the suite at `size` and returns the full report.
+pub fn run_suite(size: usize) -> DataflowBenchReport {
+    let opts = paper_options();
+    let suite = suite(size);
+    let pool_workers = DseConfig::default().effective_workers();
+    let rows: Vec<KernelDataflow> = pool_run(suite.len(), pool_workers, |i| {
+        let (name, f) = &suite[i];
+        measure(name, f, &opts)
+    });
+    DataflowBenchReport {
+        rows,
+        size,
+        pool_workers,
+    }
+}
+
+/// The gates: bit-identical memory and zero deadlocks everywhere, every
+/// channel certificate replayed, and a strict simulated-cycles win at an
+/// equal resource envelope on the DNN chains. Returns human-readable
+/// failures (empty = pass).
+pub fn gate(r: &DataflowBenchReport) -> Vec<String> {
+    let mut fails = Vec::new();
+    for k in &r.rows {
+        if !k.identical {
+            fails.push(format!(
+                "{}: dataflow memory diverged from the interpreter",
+                k.kernel
+            ));
+        }
+        if k.deadlock {
+            fails.push(format!("{}: dataflow execution deadlocked", k.kernel));
+        }
+        if k.certs_passed != k.certs_checked {
+            fails.push(format!(
+                "{}: {} of {} channel certificate(s) failed replay",
+                k.kernel,
+                k.certs_checked - k.certs_passed,
+                k.certs_checked
+            ));
+        }
+        if k.gated && k.df_cycles >= k.seq_cycles {
+            fails.push(format!(
+                "{}: dataflow {} cycle(s) does not strictly beat sequential {}",
+                k.kernel, k.df_cycles, k.seq_cycles
+            ));
+        }
+        if k.gated && !k.within_envelope {
+            fails.push(format!(
+                "{}: dataflow winner exceeds the sequential winner's resource envelope",
+                k.kernel
+            ));
+        }
+    }
+    fails
+}
+
+/// Serializes the report as `BENCH_dataflow.json` (hand-rolled, no deps).
+pub fn to_json(r: &DataflowBenchReport) -> String {
+    let mut s = String::from("{\n  \"rows\": [\n");
+    for (i, k) in r.rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"kernel\": \"{}\", \"stages\": {}, \"channels\": {}, \"fifos\": {}, \
+             \"seq_cycles\": {}, \"df_cycles\": {}, \"speedup\": {:.6}, \"identical\": {}, \
+             \"deadlock\": {}, \"stall_channel\": {}, \"certs_checked\": {}, \
+             \"certs_passed\": {}, \"within_envelope\": {}, \"gated\": {}}}",
+            k.kernel,
+            k.stages,
+            k.channels,
+            k.fifos,
+            k.seq_cycles,
+            k.df_cycles,
+            k.speedup,
+            k.identical,
+            k.deadlock,
+            k.stall_channel,
+            k.certs_checked,
+            k.certs_passed,
+            k.within_envelope,
+            k.gated,
+        );
+        s.push_str(if i + 1 < r.rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        s,
+        "  ],\n  \"size\": {},\n  \"pool_workers\": {},\n  \"all_passed\": {}\n}}\n",
+        r.size,
+        r.pool_workers,
+        gate(r).is_empty(),
+    );
+    s
+}
+
+/// Renders the report as an aligned table (the human-readable view).
+pub fn render(r: &DataflowBenchReport) -> String {
+    let mut t = Table::new(
+        "Dataflow vs sequential simulated cycles — DSE winners",
+        &[
+            "Kernel",
+            "Stages",
+            "Channels",
+            "FIFOs",
+            "Sequential",
+            "Dataflow",
+            "Speedup",
+            "Identical",
+            "ChanStall",
+            "Certs",
+            "Envelope",
+            "Gated",
+        ],
+    );
+    for k in &r.rows {
+        t.row(&[
+            k.kernel.to_string(),
+            k.stages.to_string(),
+            k.channels.to_string(),
+            k.fifos.to_string(),
+            k.seq_cycles.to_string(),
+            k.df_cycles.to_string(),
+            format!("{:.3}", k.speedup),
+            k.identical.to_string(),
+            k.stall_channel.to_string(),
+            format!("{}/{}", k.certs_passed, k.certs_checked),
+            k.within_envelope.to_string(),
+            k.gated.to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    let overlapped = r.rows.iter().filter(|k| k.stages > 1).count();
+    let _ = writeln!(
+        out,
+        "size {}: {} kernel(s), {} with a multi-stage pipeline, {} pool worker(s)",
+        r.size,
+        r.rows.len(),
+        overlapped,
+        r.pool_workers
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    #[test]
+    fn two_mm_row_pipelines_and_json_well_formed() {
+        // One small multi-nest kernel keeps the debug-mode test fast; the
+        // full suite runs in release via `pomc bench-dataflow`.
+        let opts = paper_options();
+        let f = kernels::mm2(8);
+        let row = measure("2mm", &f, &opts);
+        assert!(row.identical, "dataflow memory diverged");
+        assert!(!row.deadlock);
+        assert!(row.stages > 1, "2mm should partition into stages");
+        assert!(row.channels >= 1);
+        assert_eq!(row.certs_passed, row.certs_checked);
+        assert!(row.certs_checked >= 1);
+        let report = DataflowBenchReport {
+            rows: vec![row],
+            size: 8,
+            pool_workers: 1,
+        };
+        let json = to_json(&report);
+        assert!(json.contains("\"kernel\": \"2mm\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+        let text = render(&report);
+        assert!(text.contains("2mm"));
+        assert!(text.contains("Speedup"));
+    }
+}

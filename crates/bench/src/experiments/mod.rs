@@ -20,8 +20,10 @@
 //! | [`bench_live`] | Liveness audit — static windows vs simulated high-water |
 //! | [`bench_serve`] | Serving benchmark — cold vs warm store vs daemon |
 //! | [`bench_sim`] | Simulation audit — measured vs estimated cycles |
+//! | [`bench_dataflow`] | Dataflow audit — pipelined vs sequential winners |
 //! | [`verify_suite`] | Certificate sweep — `pomc verify-all` over the suite |
 
+pub mod bench_dataflow;
 pub mod bench_dse;
 pub mod bench_live;
 pub mod bench_poly;

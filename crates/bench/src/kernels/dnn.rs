@@ -80,33 +80,34 @@ fn feature_input(f: &mut Function, name: &str, c: usize, size: usize) -> Placeho
     f.placeholder(name, &[c, size + 2, size + 2], DataType::F32)
 }
 
+/// The `(channels_out, spatial)` plan of VGG-16's 13 convolution layers,
+/// divided by 16 — the single source [`vgg16`] and
+/// [`vgg16_layer_shapes`] both derive from.
+const VGG16_PLAN: [(usize, usize); 13] = [
+    (4, 16),
+    (4, 16),
+    (8, 8),
+    (8, 8),
+    (16, 4),
+    (16, 4),
+    (16, 4),
+    (32, 2),
+    (32, 2),
+    (32, 2),
+    (32, 2),
+    (32, 2),
+    (32, 2),
+];
+
 /// VGG-16: the 13 convolution critical loops, channels scaled by `scale`
 /// (1 = a tiny instance; the paper's channel plan divided by 16 at
 /// `scale = 1`).
 pub fn vgg16(scale: usize) -> Function {
     let mut f = Function::new("vgg16");
-    // (channels_out, spatial) per VGG-16 conv layer, divided by 16.
-    let plan: [(usize, usize); 13] = [
-        (4, 16),
-        (4, 16),
-        (8, 8),
-        (8, 8),
-        (16, 4),
-        (16, 4),
-        (16, 4),
-        (32, 2),
-        (32, 2),
-        (32, 2),
-        (32, 2),
-        (32, 2),
-        (32, 2),
-    ];
-    let mut ci = 3usize.max(scale);
-    let input = feature_input(&mut f, "input", ci, plan[0].1 * scale);
+    let shapes = vgg16_layer_shapes(scale);
+    let input = feature_input(&mut f, "input", shapes[0].0, shapes[0].2);
     let mut cur = input;
-    for (l, &(co_base, sz_base)) in plan.iter().enumerate() {
-        let co = co_base * scale;
-        let size = sz_base * scale;
+    for (l, &(ci, co, size)) in shapes.iter().enumerate() {
         // Note: pooling between stages is modelled by the shrinking
         // spatial size; the conv input is re-padded implicitly by shape.
         let needs_repad = cur.shape()[1] != size + 2;
@@ -139,7 +140,6 @@ pub fn vgg16(scale: usize) -> Function {
             cur
         };
         cur = conv_layer(&mut f, &format!("conv{l}"), &inp, ci, co, size);
-        ci = co;
     }
     f
 }
@@ -148,20 +148,18 @@ pub fn vgg16(scale: usize) -> Function {
 /// (20 critical loops, as the paper counts), channels scaled by `scale`.
 pub fn resnet18(scale: usize) -> Function {
     let mut f = Function::new("resnet18");
-    let c0 = 4 * scale;
-    let size0 = 8 * scale;
-    let input = feature_input(&mut f, "input", 3.max(scale), size0);
+    let shapes = resnet18_layer_shapes(scale);
+    let (ci0, c0, size0) = shapes[0];
+    let input = feature_input(&mut f, "input", ci0, size0);
     // Initial conv.
-    let mut cur = conv_layer(&mut f, "conv0", &input, 3.max(scale), c0, size0);
-    let mut ci = c0;
-    let mut size = size0;
+    let mut cur = conv_layer(&mut f, "conv0", &input, ci0, c0, size0);
     let mut conv_idx = 1;
     let mut res_idx = 0;
     // 4 stages x 2 basic blocks x 2 convs = 16 convs; residual adds on the
     // first block of stages 2..4 (3 residual critical loops).
     for stage in 0..4 {
-        let co = c0 << stage.min(3);
         for block in 0..2 {
+            let (ci, co, size) = shapes[conv_idx];
             let pad_in = repad(&mut f, &cur, size, &format!("rp{conv_idx}"));
             let c1 = conv_layer(&mut f, &format!("conv{conv_idx}"), &pad_in, ci, co, size);
             conv_idx += 1;
@@ -174,10 +172,6 @@ pub fn resnet18(scale: usize) -> Function {
             } else {
                 cur = c2;
             }
-            ci = co;
-        }
-        if stage < 3 {
-            size = (size / 2).max(2);
         }
     }
     f
@@ -221,24 +215,9 @@ pub fn conv_layer_kernel(ci: usize, co: usize, size: usize) -> Function {
 /// The `(ci, co, spatial)` shapes of [`vgg16`]'s convolution layers in
 /// network order, for layer-stream traffic generation.
 pub fn vgg16_layer_shapes(scale: usize) -> Vec<(usize, usize, usize)> {
-    let plan: [(usize, usize); 13] = [
-        (4, 16),
-        (4, 16),
-        (8, 8),
-        (8, 8),
-        (16, 4),
-        (16, 4),
-        (16, 4),
-        (32, 2),
-        (32, 2),
-        (32, 2),
-        (32, 2),
-        (32, 2),
-        (32, 2),
-    ];
     let mut ci = 3usize.max(scale);
-    let mut shapes = Vec::with_capacity(plan.len());
-    for &(co_base, sz_base) in &plan {
+    let mut shapes = Vec::with_capacity(VGG16_PLAN.len());
+    for &(co_base, sz_base) in &VGG16_PLAN {
         let co = co_base * scale;
         shapes.push((ci, co, sz_base * scale));
         ci = co;

@@ -47,8 +47,10 @@
 //! | Validation | [`pom_verify`] | translation validation + dataflow analyses |
 //! | Bank analysis | [`pom_bank`] | polyhedral bank-conflict analysis |
 //! | Liveness analysis | [`pom_live`] | buffer liveness, contraction, flow depths |
+//! | Dataflow pipelining | [`pom_dataflow`] | stage partitioning, channel sizing |
 
 pub use pom_bank as bank;
+pub use pom_dataflow as dataflow;
 pub use pom_dse as dse;
 pub use pom_dsl as dsl;
 pub use pom_graph as graph;
@@ -60,6 +62,7 @@ pub use pom_poly as poly;
 pub use pom_sim as sim;
 pub use pom_verify as verify;
 
+pub use pom_dataflow::{channel_certificates, partition as partition_dataflow, DataflowPlan};
 pub use pom_dse::{
     auto_dse, auto_dse_with, auto_dse_with_cache, baselines, compile, fingerprint, lint_report,
     AnytimePoint, ArtifactStore, CompileError, CompileOptions, Compiled, DseCache, DseConfig,
@@ -78,7 +81,9 @@ pub use pom_lint::{Diagnostic, LintCode, LintReport, Linter, Severity};
 pub use pom_live::{
     analyze_func as analyze_liveness, replay_contraction, seeded_memory, ArrayLiveness, LiveReport,
 };
-pub use pom_sim::{simulate, ArrayOccupancy, LoopSim, SimReport};
+pub use pom_sim::{
+    simulate, simulate_dataflow, ArrayOccupancy, DataflowReport, LoopSim, SimReport,
+};
 pub use pom_verify::{
     analyze_ranges, bank_report, live_report, narrowing_hints, validate, ValidationReport,
 };

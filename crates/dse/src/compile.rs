@@ -8,7 +8,7 @@ use pom_hls::{estimate, CarriedDep, CostModel, DepSummary, DeviceSpec, QoR};
 use pom_ir::{
     lower_to_affine, AffineFunc, MemRefDecl, PartitionInfo, PassIssue, StmtBody, VerifyError,
 };
-use pom_lint::{LintContext, LintReport, Linter};
+use pom_lint::{ChannelObservation, LintContext, LintReport, Linter};
 use pom_poly::{AstBuilder, DepKind, StmtPoly};
 use std::collections::HashMap;
 use std::fmt;
@@ -343,9 +343,48 @@ fn lower_with_lint(
 
 /// Runs the standard lint registry over a compiled function with its full
 /// polyhedral context (dependences, schedule source, device).
+///
+/// When the function partitions into a dataflow pipeline, a channel-level
+/// co-simulation (`pom-sim`) backs the measured POM010 channel-pressure
+/// check; single-stage functions skip the simulation entirely, so the
+/// common lint path stays static.
 pub fn lint_report(f: &Function, c: &Compiled, opts: &CompileOptions) -> LintReport {
-    let cx =
-        LintContext::new(&c.affine, &c.deps, &opts.model, &opts.device).with_source(f, &c.stmts);
+    let live = pom_live::analyze_func(&c.affine);
+    let plan = pom_dataflow::partition(f, &c.affine, &live);
+    let mut channels: Vec<ChannelObservation> = Vec::new();
+    if plan.is_pipeline() {
+        let mut mem = pom_live::seeded_memory(&c.affine, 42);
+        let report = pom_sim::simulate_dataflow(
+            &c.affine,
+            &c.deps,
+            &plan.stages,
+            &plan.channel_specs(),
+            &mut mem,
+            &opts.model,
+        );
+        channels = report
+            .channels
+            .iter()
+            .map(|ch| ChannelObservation {
+                array: ch.array.clone(),
+                producer: ch.producer.clone(),
+                consumers: ch.consumers.clone(),
+                capacity: ch.capacity,
+                pingpong: ch.pingpong,
+                stall_pop: ch.stall_pop,
+                stall_push: ch.stall_push,
+                total_cycles: report.cycles,
+                min_depth: plan
+                    .channels
+                    .iter()
+                    .find(|pc| pc.spec.array == ch.array)
+                    .map_or(0, |pc| pc.min_depth),
+            })
+            .collect();
+    }
+    let cx = LintContext::new(&c.affine, &c.deps, &opts.model, &opts.device)
+        .with_source(f, &c.stmts)
+        .with_channels(&channels);
     Linter::standard().run(&cx)
 }
 

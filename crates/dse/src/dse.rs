@@ -207,6 +207,146 @@ fn auto_dse_impl(
         stats.sim_port_conflicts = report.port_conflicts;
         stats.sim_time = t_sim.elapsed();
     }
+    // Rate-matched dataflow refinement (`DseConfig::dataflow`): cut the
+    // sequential winner into dataflow stages, co-simulate the plan with
+    // channel back-pressure, and greedily rebalance per-stage unrolls —
+    // escalate the bottleneck stage, and when that alone busts the
+    // envelope, pair it with a de-escalation of the slackest stage.
+    // Throughput follows the slowest stage, so every accepted move
+    // rate-matches stage IIs; acceptance requires strictly fewer
+    // simulated dataflow cycles and resources within the sequential
+    // winner's envelope (the refinement may trade, never grow).
+    if cfg.dataflow {
+        const DF_SEED: u64 = 0x5EED;
+        let t_df = Instant::now();
+        let envelope = compiled.qor.resources;
+        let measure = |c: &Compiled, plan: &pom_dataflow::DataflowPlan| {
+            let mut mem = pom_live::seeded_memory(&c.affine, DF_SEED);
+            pom_sim::simulate_dataflow(
+                &c.affine,
+                &c.deps,
+                &plan.stages,
+                &plan.channel_specs(),
+                &mut mem,
+                &opts.model,
+            )
+        };
+        let plan_of = |f: &Function, c: &Compiled| {
+            let live = pom_live::analyze_func(&c.affine);
+            pom_dataflow::partition(f, &c.affine, &live)
+        };
+        let mut plan = plan_of(&scheduled, &compiled);
+        let mut best = measure(&compiled, &plan);
+        let mut rounds = 0usize;
+        const MAX_ROUNDS: usize = 16;
+        while plan.is_pipeline() && !best.deadlock && rounds < MAX_ROUNDS {
+            // Bottleneck = the stage whose local schedule is slowest;
+            // slack = the fastest (the one with cycles to give back).
+            let local = |s: &pom_sim::StageSim| s.report.cycles;
+            let bi = match best.stages.iter().enumerate().max_by_key(|(_, s)| local(s)) {
+                Some((i, _)) => i,
+                None => break,
+            };
+            let si = best
+                .stages
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != bi)
+                .min_by_key(|(_, s)| local(s))
+                .map(|(i, _)| i);
+            let in_stage = |g: &GroupConfig, stage: usize| {
+                g.members
+                    .iter()
+                    .any(|m| plan.stage_stmts[stage].iter().any(|s| s == m))
+            };
+            // Candidate group vectors: escalate a bottleneck group alone,
+            // or paired with one de-escalation of a slack-stage group.
+            let mut cand_groups: Vec<Vec<GroupConfig>> = Vec::new();
+            for (gi, g) in groups.iter().enumerate() {
+                if !in_stage(g, bi) {
+                    continue;
+                }
+                for esc in g.escalation_candidates_preferred(cfg) {
+                    let mut cg = groups.clone();
+                    cg[gi] = esc;
+                    cand_groups.push(cg.clone());
+                    if let Some(si) = si {
+                        for (hi, h) in groups.iter().enumerate() {
+                            if hi == gi || !in_stage(h, si) {
+                                continue;
+                            }
+                            for de in h.deescalation_candidates() {
+                                let mut cg2 = cg.clone();
+                                cg2[hi] = de;
+                                cand_groups.push(cg2);
+                            }
+                        }
+                    }
+                }
+            }
+            let mut winner: Option<(u64, Function, Vec<GroupConfig>, Compiled)> = None;
+            for cg in cand_groups {
+                let cand_f = crate::stage2::schedule_for(&stage1, &cg);
+                let c = match full_compile(cache, &cand_f, opts, &acc, None) {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                };
+                stats.estimated += 1;
+                if !c.qor.resources.within(&envelope) {
+                    continue;
+                }
+                let p = plan_of(&cand_f, &c);
+                let r = measure(&c, &p);
+                if r.deadlock {
+                    continue;
+                }
+                let bar = winner.as_ref().map_or(best.cycles, |w| w.0);
+                if r.cycles < bar {
+                    winner = Some((r.cycles, cand_f, cg, c));
+                }
+            }
+            match winner {
+                Some((_, f2, cg, c2)) => {
+                    scheduled = f2;
+                    groups = cg;
+                    compiled = c2;
+                    plan = plan_of(&scheduled, &compiled);
+                    best = measure(&compiled, &plan);
+                    rounds += 1;
+                }
+                None => break,
+            }
+        }
+        if rounds > 0 {
+            // The dependence template was built for the original groups.
+            full_template = cache
+                .and_then(|c| crate::stage2::full_dep_template(&stage1, &groups, c, opts, &acc));
+        }
+        // Discharge the final plan's channel-sizing certificates and
+        // record the dataflow-vs-sequential comparison on the winner.
+        let mem0 = pom_live::seeded_memory(&compiled.affine, DF_SEED);
+        let certs = pom_dataflow::channel_certificates(&compiled.affine, &plan, &mem0);
+        stats.certificates_checked += certs.len();
+        stats.certificates_passed += certs.iter().filter(|c| c.passed()).count();
+        if let Some(bad) = certs.iter().find(|c| !c.passed()) {
+            let mut report = pom_verify::ValidationReport {
+                func: compiled.affine.name.clone(),
+                certificates: vec![bad.clone()],
+            };
+            report
+                .certificates
+                .extend(certs.iter().filter(|c| c.passed()).cloned());
+            return Err(CompileError::Rejected(report.render()));
+        }
+        let mut mem = pom_live::seeded_memory(&compiled.affine, DF_SEED);
+        let seq = pom_sim::simulate(&compiled.affine, &compiled.deps, &mut mem, &opts.model);
+        stats.dataflow_rounds = rounds;
+        stats.dataflow_stages = plan.stages.len();
+        stats.dataflow_channels = plan.channels.len();
+        stats.dataflow_cycles = best.cycles;
+        stats.dataflow_seq_cycles = seq.cycles;
+        stats.dataflow_time = t_df.elapsed();
+    }
     // Align declared IIs with what the recurrences actually allow: the
     // estimator reports the achieved II regardless of the declared one,
     // but the emitted pragmas (and POM001) should not promise II targets
@@ -382,6 +522,60 @@ mod tests {
         assert!(r.stats.certificates_checked > 0);
         assert_eq!(r.stats.certificates_checked, r.stats.certificates_passed);
         assert!(r.stats.dataflow_iterations > 0);
+    }
+
+    #[test]
+    fn dataflow_mode_overlaps_stages_within_envelope() {
+        // 2MM-like chain: S1 fills tmp, S2 consumes it — a genuine
+        // producer→consumer cut for the dataflow partitioner.
+        let n = 16usize;
+        let mut f = Function::new("mm2");
+        let i = f.var("i", 0, n as i64);
+        let j = f.var("j", 0, n as i64);
+        let k = f.var("k", 0, n as i64);
+        let a = f.placeholder("A", &[n, n], DataType::F32);
+        let b = f.placeholder("B", &[n, n], DataType::F32);
+        let c = f.placeholder("C", &[n, n], DataType::F32);
+        let d = f.placeholder("D", &[n, n], DataType::F32);
+        let tmp = f.placeholder("tmp", &[n, n], DataType::F32);
+        f.compute(
+            "S1",
+            &[i.clone(), j.clone(), k.clone()],
+            tmp.at(&[&i, &j]) + a.at(&[&i, &k]) * b.at(&[&k, &j]),
+            tmp.access(&[&i, &j]),
+        );
+        f.compute(
+            "S2",
+            &[i.clone(), j.clone(), k.clone()],
+            d.at(&[&i, &j]) + tmp.at(&[&i, &k]) * c.at(&[&k, &j]),
+            d.access(&[&i, &j]),
+        );
+        let opts = CompileOptions::default();
+        let seq = auto_dse(&f, &opts).expect("sequential DSE compiles");
+        let cfg = DseConfig {
+            dataflow: true,
+            ..DseConfig::default()
+        };
+        let r = auto_dse_with(&f, &opts, &cfg).expect("dataflow DSE compiles");
+        assert_eq!(r.stats.dataflow_stages, 2, "two dataflow stages");
+        assert_eq!(r.stats.dataflow_channels, 1, "one channel on tmp");
+        assert!(r.stats.dataflow_cycles > 0);
+        assert!(
+            r.stats.dataflow_cycles < r.stats.dataflow_seq_cycles,
+            "overlap must win: dataflow {} vs sequential {}",
+            r.stats.dataflow_cycles,
+            r.stats.dataflow_seq_cycles
+        );
+        // The refinement may trade resources between stages but never
+        // grow past the sequential winner's envelope.
+        assert!(r.compiled.qor.resources.within(&seq.compiled.qor.resources));
+        // Winner validation plus every channel-sizing certificate passed.
+        assert!(r.stats.certificates_checked > seq.stats.certificates_checked);
+        assert_eq!(r.stats.certificates_checked, r.stats.certificates_passed);
+        // Determinism: a second run reproduces the plan and measurement.
+        let r2 = auto_dse_with(&f, &opts, &cfg).expect("dataflow DSE compiles");
+        assert_eq!(r.groups, r2.groups);
+        assert_eq!(r.stats.dataflow_cycles, r2.stats.dataflow_cycles);
     }
 
     #[test]

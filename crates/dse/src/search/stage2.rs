@@ -118,6 +118,21 @@ pub struct DseStats {
     /// True when [`DseConfig::budget_ms`] expired before the beam search
     /// exhausted its frontier — the result is the anytime best-so-far.
     pub budget_expired: bool,
+    /// Rate-matching rounds of the dataflow refinement that strictly
+    /// improved the plan ([`DseConfig::dataflow`]; 0 when off).
+    pub dataflow_rounds: usize,
+    /// Stages in the final dataflow plan (0 when the refinement was off).
+    pub dataflow_stages: usize,
+    /// Inter-stage channels in the final dataflow plan.
+    pub dataflow_channels: usize,
+    /// Simulated dataflow cycles of the final plan (0 when off).
+    pub dataflow_cycles: u64,
+    /// Simulated *sequential* cycles of the same final schedule — the
+    /// baseline the dataflow overlap is measured against.
+    pub dataflow_seq_cycles: u64,
+    /// Wall time spent partitioning, co-simulating, and certifying
+    /// during the dataflow refinement.
+    pub dataflow_time: Duration,
 }
 
 /// The outcome of [`bottleneck_optimize_with`]: the fully scheduled
@@ -309,6 +324,17 @@ pub struct DseConfig {
     /// plausibly win; survivors outside the band are counted in
     /// [`DseStats::sim_pruned`] and keep their estimate ranking.
     pub sim_admit_pct: u32,
+    /// Rate-matched dataflow refinement: after the sequential search
+    /// settles its winner, partition it into dataflow stages
+    /// (`pom-dataflow`), co-simulate the plan with channel-accurate
+    /// back-pressure, and iteratively rebalance the per-stage unrolls —
+    /// escalating the bottleneck stage and, when the envelope is tight,
+    /// de-escalating slack stages to pay for it. Only strict simulated
+    /// dataflow-cycle improvements whose resources stay within the
+    /// sequential winner's envelope are accepted; throughput follows the
+    /// slowest stage, so the refinement rate-matches stage IIs. Off by
+    /// default.
+    pub dataflow: bool,
 }
 
 impl Default for DseConfig {
@@ -332,6 +358,7 @@ impl Default for DseConfig {
             beam_width: 4,
             budget_ms: None,
             sim_admit_pct: 15,
+            dataflow: false,
         }
     }
 }
@@ -410,6 +437,23 @@ impl GroupConfig {
             if self.tiles[l] * 2 <= self.extents[l] {
                 let mut c = self.clone();
                 c.tiles[l] *= 2;
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// All single-step de-escalations (halving one parallel level's tile
+    /// back towards 1), innermost first — the dataflow refinement's
+    /// rate-matching move: a stage running faster than the pipeline
+    /// bottleneck returns resources by shrinking its unroll, which the
+    /// bottleneck stage can then spend.
+    pub fn deescalation_candidates(&self) -> Vec<GroupConfig> {
+        let mut out = Vec::new();
+        for &l in self.parallel.iter().rev() {
+            if self.tiles[l] > 1 {
+                let mut c = self.clone();
+                c.tiles[l] /= 2;
                 out.push(c);
             }
         }

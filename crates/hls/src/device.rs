@@ -52,6 +52,16 @@ impl ResourceUsage {
         }
     }
 
+    /// True when every figure is within `other`'s — the equal-envelope
+    /// comparison of the dataflow DSE refinement, which may only trade
+    /// resources between stages, never grow the winner's total.
+    pub fn within(&self, other: &ResourceUsage) -> bool {
+        self.dsp <= other.dsp
+            && self.ff <= other.ff
+            && self.lut <= other.lut
+            && self.bram18k <= other.bram18k
+    }
+
     /// True when usage fits within `device` (BRAM included).
     pub fn fits(&self, device: &DeviceSpec) -> bool {
         self.dsp <= device.dsp

@@ -1,4 +1,4 @@
-//! The shipped lint analyses (POM001–POM009).
+//! The shipped lint analyses (POM001–POM010).
 
 use crate::context::{walk_loops, walk_stores, LintContext};
 use crate::{Analysis, Diagnostic, LintCode, Location};
@@ -680,6 +680,74 @@ impl Analysis for Liveness {
     }
 }
 
+/// A channel whose measured stall share of the dataflow makespan exceeds
+/// this percentage draws a POM010 warning.
+pub const CHANNEL_STALL_PCT: u64 = 10;
+
+/// POM010: a dataflow channel spends more than [`CHANNEL_STALL_PCT`]% of
+/// the simulated makespan blocked on push or pop. Unlike the static
+/// POM009 sizing note, this is a *measured* claim — it only fires when
+/// the caller attaches the per-channel figures of a `pom-sim` dataflow
+/// co-simulation ([`LintContext::with_channels`]), so a purely static
+/// lint run never reports it. The diagnostic names the channel and the
+/// exact positional minimal deadlock-free depth `pom-dataflow` computed
+/// for its element streams.
+pub struct ChannelPressure;
+
+impl Analysis for ChannelPressure {
+    fn name(&self) -> &'static str {
+        "channel-pressure"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(channels) = cx.channels else {
+            return;
+        };
+        for ch in channels {
+            let stall = ch.stall_cycles();
+            if ch.total_cycles == 0 || stall * 100 <= ch.total_cycles * CHANNEL_STALL_PCT {
+                continue;
+            }
+            let pct = stall * 100 / ch.total_cycles;
+            let kind = if ch.pingpong { "ping-pong" } else { "FIFO" };
+            let d = Diagnostic::new(
+                LintCode::ChannelPressure,
+                Location::func_scope(&cx.func.name).with_stmt(&ch.producer),
+                format!(
+                    "dataflow channel `{}` ({} -> {}) stalls {stall} of {} simulated \
+                     cycle(s) ({pct}%): {} pop-blocked, {} push-blocked on its \
+                     depth-{} {kind}",
+                    ch.array,
+                    ch.producer,
+                    ch.consumers.join(", "),
+                    ch.total_cycles,
+                    ch.stall_pop,
+                    ch.stall_push,
+                    ch.capacity
+                ),
+            );
+            let d = if ch.pingpong {
+                d.with_suggestion(format!(
+                    "the stages around `{}` are rate-mismatched; rebalance their IIs \
+                     (dataflow DSE rate-matching) — the buffer itself is deadlock-free \
+                     at depth >= {}",
+                    ch.array, ch.min_depth
+                ))
+            } else {
+                d.with_suggestion(format!(
+                    "deepen the `{}` FIFO beyond {} element(s) (minimal deadlock-free \
+                     depth {}; try {})",
+                    ch.array,
+                    ch.capacity,
+                    ch.min_depth,
+                    (ch.capacity * 2).max(ch.min_depth)
+                ))
+            };
+            out.push(d);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -826,6 +894,63 @@ mod tests {
         let device = DeviceSpec::xc7z020();
         let report = Linter::standard().run(&ctx(&f, &deps, &model, &device));
         assert!(report.is_clean(), "{}", report.render("ok"));
+    }
+
+    #[test]
+    fn channel_pressure_fires_only_above_threshold() {
+        let f = AffineFunc::new("df");
+        let deps = DepSummary::new();
+        let model = CostModel::vitis_f32();
+        let device = DeviceSpec::xc7z020();
+        let obs = |stall_pop: u64, stall_push: u64, pingpong: bool| crate::ChannelObservation {
+            array: "tmp".into(),
+            producer: "s0".into(),
+            consumers: vec!["s1".into()],
+            capacity: 16,
+            pingpong,
+            stall_pop,
+            stall_push,
+            total_cycles: 1000,
+            min_depth: 3,
+        };
+
+        // 5% stall share: below the 10% threshold, no finding.
+        let quiet = [obs(30, 20, false)];
+        let cx = ctx(&f, &deps, &model, &device).with_channels(&quiet);
+        let report = Linter::standard().run(&cx);
+        assert!(
+            report.with_code(LintCode::ChannelPressure).is_empty(),
+            "{}",
+            report.render("df")
+        );
+
+        // 40% stall share on a FIFO: warns and suggests a deeper FIFO.
+        let hot = [obs(250, 150, false)];
+        let cx = ctx(&f, &deps, &model, &device).with_channels(&hot);
+        let report = Linter::standard().run(&cx);
+        let found = report.with_code(LintCode::ChannelPressure);
+        assert_eq!(found.len(), 1, "{}", report.render("df"));
+        assert_eq!(found[0].severity, Severity::Warning);
+        assert!(found[0].message.contains("`tmp`"), "{}", found[0].message);
+        assert!(found[0].message.contains("(40%)"), "{}", found[0].message);
+        let help = found[0].suggestion.as_deref().unwrap();
+        assert!(help.contains("deepen"), "{help}");
+        assert!(help.contains("minimal deadlock-free depth 3"), "{help}");
+        assert!(help.contains("try 32"), "{help}");
+
+        // Same share on a ping-pong buffer: the fix is rate-matching,
+        // not depth.
+        let pp = [obs(250, 150, true)];
+        let cx = ctx(&f, &deps, &model, &device).with_channels(&pp);
+        let report = Linter::standard().run(&cx);
+        let found = report.with_code(LintCode::ChannelPressure);
+        assert_eq!(found.len(), 1, "{}", report.render("df"));
+        let help = found[0].suggestion.as_deref().unwrap();
+        assert!(help.contains("rate-mismatched"), "{help}");
+
+        // Without observations attached the analysis is silent.
+        let report = Linter::standard().run(&ctx(&f, &deps, &model, &device));
+        assert!(report.with_code(LintCode::ChannelPressure).is_empty());
     }
 
     #[test]

@@ -17,6 +17,42 @@ pub struct SourceInfo<'a> {
     pub stmts: &'a [StmtPoly],
 }
 
+/// One inter-stage channel of a dataflow co-simulation, as observed by
+/// `pom-sim`'s concurrent-process model — the measured input of the
+/// channel-pressure analysis (POM010). The lint crate deliberately does
+/// not depend on the simulator; callers that ran a dataflow simulation
+/// (e.g. `pomc --emit lint`) translate its per-channel figures into this
+/// shape and attach them with [`LintContext::with_channels`].
+#[derive(Clone, Debug)]
+pub struct ChannelObservation {
+    /// The array the channel carries.
+    pub array: String,
+    /// Producer stage name.
+    pub producer: String,
+    /// Consumer stage names.
+    pub consumers: Vec<String>,
+    /// Configured channel capacity in elements.
+    pub capacity: u64,
+    /// True for a ping-pong buffer, false for a FIFO.
+    pub pingpong: bool,
+    /// Cycles consumers spent blocked popping from this channel.
+    pub stall_pop: u64,
+    /// Cycles the producer spent blocked pushing into this channel.
+    pub stall_push: u64,
+    /// Total simulated dataflow cycles (the stall-fraction denominator).
+    pub total_cycles: u64,
+    /// Exact positional minimal deadlock-free depth of the channel's
+    /// element streams (from `pom-dataflow`'s sizing analysis).
+    pub min_depth: u64,
+}
+
+impl ChannelObservation {
+    /// Total cycles attributed to this channel (pop + push stalls).
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_pop + self.stall_push
+    }
+}
+
 /// Everything an [`crate::Analysis`] may consult.
 #[derive(Clone, Copy)]
 pub struct LintContext<'a> {
@@ -30,6 +66,9 @@ pub struct LintContext<'a> {
     pub device: &'a DeviceSpec,
     /// Scheduled DSL source, when available (enables POM004).
     pub source: Option<SourceInfo<'a>>,
+    /// Measured dataflow channels, when a co-simulation ran (enables
+    /// POM010).
+    pub channels: Option<&'a [ChannelObservation]>,
 }
 
 impl<'a> LintContext<'a> {
@@ -46,12 +85,19 @@ impl<'a> LintContext<'a> {
             model,
             device,
             source: None,
+            channels: None,
         }
     }
 
     /// Attaches the scheduled DSL source and its transformed statements.
     pub fn with_source(mut self, function: &'a Function, stmts: &'a [StmtPoly]) -> Self {
         self.source = Some(SourceInfo { function, stmts });
+        self
+    }
+
+    /// Attaches measured dataflow-channel figures from a co-simulation.
+    pub fn with_channels(mut self, channels: &'a [ChannelObservation]) -> Self {
+        self.channels = Some(channels);
         self
     }
 }

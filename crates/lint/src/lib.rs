@@ -22,6 +22,7 @@
 //! | `POM007` | buffer provably oversized for its live window | Warning | IV |
 //! | `POM008` | array store overwritten before any read observes it | Error | IV |
 //! | `POM009` | minimal producer→consumer buffer depth | Note | IV |
+//! | `POM010` | dataflow channel stalls above threshold (under-sized) | Warning | IV |
 //!
 //! The linter is wired into three places: `PassManager::lint_each` (a
 //! post-pass hook alongside `verify_each`), `dse::stage2` (candidate
@@ -31,7 +32,7 @@
 pub mod analyses;
 pub mod context;
 
-pub use context::{LintContext, SourceInfo};
+pub use context::{ChannelObservation, LintContext, SourceInfo};
 
 use std::fmt;
 
@@ -93,6 +94,13 @@ pub enum LintCode {
     /// the carrying array were replaced by a FIFO/stream — informational
     /// sizing guidance for dataflow-style refactoring.
     BufferDepth,
+    /// POM010: a simulated dataflow channel spends more than a threshold
+    /// fraction of the makespan blocked on push/pop — the channel is
+    /// under-sized (FIFO too shallow) or the stages around it are
+    /// rate-mismatched (ping-pong). Measured, not static: fires only
+    /// when the caller attaches a co-simulation's channel figures via
+    /// [`LintContext::with_channels`].
+    ChannelPressure,
 }
 
 impl LintCode {
@@ -108,6 +116,7 @@ impl LintCode {
             LintCode::OversizedBuffer => "POM007",
             LintCode::DeadStoreToArray => "POM008",
             LintCode::BufferDepth => "POM009",
+            LintCode::ChannelPressure => "POM010",
         }
     }
 
@@ -121,7 +130,8 @@ impl LintCode {
             LintCode::PortPressure
             | LintCode::DeadCode
             | LintCode::BankConflict
-            | LintCode::OversizedBuffer => Severity::Warning,
+            | LintCode::OversizedBuffer
+            | LintCode::ChannelPressure => Severity::Warning,
             LintCode::BufferDepth => Severity::Note,
         }
     }
@@ -318,7 +328,7 @@ impl Linter {
         Self::default()
     }
 
-    /// The standard registry: all shipped analyses (POM001–POM009).
+    /// The standard registry: all shipped analyses (POM001–POM010).
     pub fn standard() -> Self {
         Linter::new()
             .register(analyses::IiFeasibility)
@@ -328,6 +338,7 @@ impl Linter {
             .register(analyses::DeadCode)
             .register(analyses::BankConflict)
             .register(analyses::Liveness)
+            .register(analyses::ChannelPressure)
     }
 
     /// Registers one analysis.
@@ -366,6 +377,7 @@ mod tests {
         assert_eq!(LintCode::OversizedBuffer.as_str(), "POM007");
         assert_eq!(LintCode::DeadStoreToArray.as_str(), "POM008");
         assert_eq!(LintCode::BufferDepth.as_str(), "POM009");
+        assert_eq!(LintCode::ChannelPressure.as_str(), "POM010");
         assert_eq!(LintCode::BankConflict.default_severity(), Severity::Warning);
         assert_eq!(
             LintCode::OversizedBuffer.default_severity(),
@@ -376,6 +388,10 @@ mod tests {
             Severity::Error
         );
         assert_eq!(LintCode::BufferDepth.default_severity(), Severity::Note);
+        assert_eq!(
+            LintCode::ChannelPressure.default_severity(),
+            Severity::Warning
+        );
         assert_eq!(LintCode::OutOfBounds.default_severity(), Severity::Error);
         assert_eq!(LintCode::PortPressure.default_severity(), Severity::Warning);
         assert!(Severity::Error < Severity::Warning);

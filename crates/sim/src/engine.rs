@@ -30,6 +30,7 @@
 //! available in registers) bypass the memory: they cost no port and no
 //! load latency beyond the producer's finish time.
 
+use crate::dataflow::TraceEvent;
 use crate::report::{ArrayOccupancy, BankStall, LoopSim, SimReport};
 use pom_bank::ArrayBanks;
 use pom_dsl::interp::eval_expr;
@@ -63,6 +64,28 @@ pub fn simulate(
     let mut report = sim.into_report(cycles);
     report.sim_time = t0.elapsed();
     report
+}
+
+/// [`simulate`] with an access trace: additionally returns one
+/// [`TraceEvent`] per executed store event (a sequential store, or one
+/// pipeline iteration with its inner loops fully unrolled), recording
+/// the memory elements read and written and the event's local
+/// issue/finish cycles. The dataflow co-simulation replays these traces
+/// against bounded inter-stage channels.
+pub fn simulate_traced(
+    func: &AffineFunc,
+    deps: &DepSummary,
+    mem: &mut MemoryState,
+    model: &CostModel,
+) -> (SimReport, Vec<TraceEvent>) {
+    let t0 = Instant::now();
+    let mut sim = Sim::new(func, deps, model);
+    sim.trace = Some(Vec::new());
+    let cycles = sim.exec_seq(&func.body, 0, mem);
+    let trace = sim.trace.take().unwrap_or_default();
+    let mut report = sim.into_report(cycles);
+    report.sim_time = t0.elapsed();
+    (report, trace)
 }
 
 /// `(array id, flat element index)` — the unit of dependence tracking.
@@ -206,6 +229,8 @@ struct Sim<'a> {
     port_conflicts: u64,
     loop_order: Vec<String>,
     loops: HashMap<String, LoopSim>,
+    /// When present, one [`TraceEvent`] is recorded per store event.
+    trace: Option<Vec<TraceEvent>>,
 }
 
 impl<'a> Sim<'a> {
@@ -240,6 +265,7 @@ impl<'a> Sim<'a> {
             port_conflicts: 0,
             loop_order: Vec::new(),
             loops: HashMap::new(),
+            trace: None,
         }
     }
 
@@ -279,6 +305,7 @@ impl<'a> Sim<'a> {
             stall_dep: self.stall_dep,
             stall_port: self.stall_port,
             stall_drain: self.stall_drain,
+            stall_channel: 0,
             pipeline_iterations: self.pipeline_iterations,
             port_conflicts: self.port_conflicts,
             loops: self
@@ -466,7 +493,16 @@ impl<'a> Sim<'a> {
             .collect();
         let result = walk_time(self.model, &s.value, &mut avails.iter().copied(), t);
         self.ready[dest.0][dest.1] = result;
-        result + self.model.store_latency
+        let finish = result + self.model.store_latency;
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent {
+                issue: t,
+                finish,
+                reads: elems,
+                writes: vec![dest],
+            });
+        }
+        finish
     }
 
     // ------------------------------------------------------------------
@@ -680,6 +716,27 @@ impl<'a> Sim<'a> {
         region.last_issue = issue;
         region.last_finish = region.last_finish.max(finish);
         region.iters += 1;
+
+        if self.trace.is_some() {
+            // Writes in write-back order (the last writer of each element
+            // this iteration): their sequence across events defines the
+            // channel push order the dataflow co-simulation replays.
+            let writes: Vec<Elem> = insts
+                .iter()
+                .enumerate()
+                .filter(|(i, inst)| region.last_writer.get(&inst.dest) == Some(i))
+                .map(|(_, inst)| inst.dest)
+                .collect();
+            let reads = region.mem_reads.clone();
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceEvent {
+                    issue,
+                    finish,
+                    reads,
+                    writes,
+                });
+            }
+        }
 
         region.insts = insts;
         region.insts.clear();

@@ -32,11 +32,15 @@
 #![warn(missing_docs)]
 
 mod arena;
+pub mod dataflow;
 mod engine;
 mod report;
 
 pub use arena::{simulate_batch, SimArena};
-pub use engine::simulate;
+pub use dataflow::{
+    simulate_dataflow, ChannelSim, ChannelSpec, DataflowReport, StageSim, StageSpec, TraceEvent,
+};
+pub use engine::{simulate, simulate_traced};
 pub use report::{ArrayOccupancy, BankStall, LoopSim, SimReport};
 
 #[cfg(test)]

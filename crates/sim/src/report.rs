@@ -91,6 +91,12 @@ pub struct SimReport {
     pub stall_port: u64,
     /// Cycles spent draining pipelines after their last issue.
     pub stall_drain: u64,
+    /// Issue cycles lost blocking on dataflow channels (waiting for a
+    /// producer's push or for buffer space downstream). Always zero for
+    /// a plain sequential [`crate::simulate`] run; filled in by the
+    /// dataflow co-simulation ([`crate::simulate_dataflow`]) on each
+    /// stage's local report.
+    pub stall_channel: u64,
     /// Total pipeline iterations issued.
     pub pipeline_iterations: u64,
     /// Memory accesses whose port grant slid past the requested cycle.
@@ -114,8 +120,8 @@ impl SimReport {
         let _ = writeln!(s, "total cycles:     {}", self.cycles);
         let _ = writeln!(
             s,
-            "stall cycles:     dependence {}, port {}, drain {}",
-            self.stall_dep, self.stall_port, self.stall_drain
+            "stall cycles:     dependence {}, port {}, drain {}, channel {}",
+            self.stall_dep, self.stall_port, self.stall_drain, self.stall_channel
         );
         let _ = writeln!(
             s,

@@ -36,6 +36,12 @@ pub enum ObligationKind {
     /// bit-identical under the contraction. Discharged by pom-live's
     /// replay over seeded initial memory.
     BufferContracted,
+    /// An inter-stage dataflow channel is sized so the producer's store
+    /// stream and every consumer's load stream flow through the bounded
+    /// buffer without deadlock and with bit-identical values. Discharged
+    /// by pom-dataflow's replay of both element streams through a ring
+    /// of the certified capacity.
+    ChannelSized,
 }
 
 impl ObligationKind {
@@ -49,6 +55,7 @@ impl ObligationKind {
             ObligationKind::AttributeOnly => "attribute-only",
             ObligationKind::BankConflictFree => "bank-conflict-free",
             ObligationKind::BufferContracted => "buffer-contracted",
+            ObligationKind::ChannelSized => "channel-sized",
         }
     }
 }
